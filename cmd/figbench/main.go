@@ -1,0 +1,111 @@
+// Command figbench regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the rows/series of one artifact;
+// "all" runs the complete set.
+//
+// Usage:
+//
+//	figbench [-insts N] [-apps N] [-mixes N] [-mc N] <experiment>...
+//	figbench all
+//	figbench fig8 fig10
+//
+// Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 sec42 sec83 multithreaded
+//
+// The instruction budget trades fidelity for runtime; the shipped default
+// reproduces the paper's qualitative shapes in minutes on one machine.
+// See EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	insts := flag.Int64("insts", 400_000, "per-core instruction target per run")
+	apps := flag.Int("apps", 20, "single-core applications to include (max 20)")
+	mixes := flag.Int("mixes", 5, "eight-core mixes per category (max 5)")
+	mc := flag.Int("mc", 10_000, "Monte-Carlo iterations for the circuit model")
+	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	r := harness.NewRunner(harness.Scale{
+		Insts: *insts, SingleApps: *apps, MixesPerCategory: *mixes,
+		MCIterations: *mc, Parallelism: *par,
+	})
+
+	type experiment struct {
+		name string
+		run  func() (*stats.Table, error)
+	}
+	catalog := []experiment{
+		{"table1", func() (*stats.Table, error) { return r.Table1(), nil }},
+		{"table2", r.Table2},
+		{"fig5", r.Fig5},
+		{"fig7", r.Fig7},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"fig13", r.Fig13},
+		{"fig14", r.Fig14},
+		{"fig15", r.Fig15},
+		{"sec42", func() (*stats.Table, error) { return r.Sec42(), nil }},
+		{"sec83", r.Sec83},
+		{"multithreaded", r.Multithreaded},
+		{"ablation", r.Ablations},
+	}
+
+	want := make(map[string]bool)
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range catalog {
+				want[e.name] = true
+			}
+			continue
+		}
+		found := false
+		for _, e := range catalog {
+			if e.name == a {
+				want[a] = true
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "figbench: unknown experiment %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range catalog {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: figbench [flags] <experiment>...
+experiments: all table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 sec42 sec83 multithreaded ablation`)
+	flag.PrintDefaults()
+}

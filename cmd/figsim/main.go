@@ -1,0 +1,138 @@
+// Command figsim runs one simulated system configuration on one workload
+// and prints its statistics: the quickest way to inspect a single run.
+//
+// Usage:
+//
+//	figsim -preset FIGCache-Fast -workload mcf -insts 400000
+//	figsim -preset Base -workload mix-100-0 -insts 200000
+//	figsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "FIGCache-Fast",
+		"configuration: Base, LISA-VILLA, FIGCache-Slow, FIGCache-Fast, FIGCache-Ideal, LL-DRAM")
+	wl := flag.String("workload", "mcf",
+		"benchmark name (single-core), mix name like mix-100-0 (eight-core), or mt-<app> (multithreaded)")
+	insts := flag.Int64("insts", 400_000, "per-core instruction target")
+	seed := flag.Uint64("seed", 1, "trace generation seed")
+	list := flag.Bool("list", false, "list available presets and workloads, then exit")
+	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+	p, err := parsePreset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	mix, shared, err := findWorkload(*wl)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.DefaultConfig(p, mix)
+	cfg.TargetInsts = *insts
+	cfg.Seed = *seed
+	cfg.SharedFootprint = shared
+	system, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := system.Run()
+	if err != nil {
+		fatal(err)
+	}
+	printResult(system.Config(), res)
+}
+
+func parsePreset(name string) (sim.Preset, error) {
+	for _, p := range sim.Presets() {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown preset %q (try -list)", name)
+}
+
+func findWorkload(name string) (workload.Mix, bool, error) {
+	if strings.HasPrefix(name, "mt-") {
+		for _, m := range workload.MultithreadedWorkloads() {
+			if m.Name == strings.TrimPrefix(name, "mt-") {
+				return m, true, nil
+			}
+		}
+		return workload.Mix{}, false, fmt.Errorf("unknown multithreaded workload %q", name)
+	}
+	for _, m := range workload.EightCoreMixes() {
+		if m.Name == name {
+			return m, false, nil
+		}
+	}
+	if spec, err := workload.ByName(name); err == nil {
+		return workload.Mix{Name: name, Apps: []workload.BenchSpec{spec}}, false, nil
+	}
+	return workload.Mix{}, false, fmt.Errorf("unknown workload %q (try -list)", name)
+}
+
+func printCatalog() {
+	fmt.Println("presets:")
+	for _, p := range sim.Presets() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("single-core benchmarks (Table 2):")
+	for _, s := range workload.Benchmarks() {
+		class := "non-intensive"
+		if s.MemIntensive {
+			class = "intensive"
+		}
+		fmt.Printf("  %-12s %s\n", s.Name, class)
+	}
+	fmt.Println("eight-core mixes:")
+	for _, m := range workload.EightCoreMixes() {
+		fmt.Printf("  %-12s %d%% intensive\n", m.Name, m.IntensivePercent)
+	}
+	fmt.Println("multithreaded (prefix with mt-):")
+	for _, m := range workload.MultithreadedWorkloads() {
+		fmt.Printf("  mt-%s\n", m.Name)
+	}
+}
+
+func printResult(cfg sim.Config, res sim.Result) {
+	fmt.Printf("preset:    %s\n", res.Preset)
+	fmt.Printf("workload:  %s (%d cores, %d channels)\n", res.Workload, len(res.Cores), cfg.Channels)
+	fmt.Printf("cycles:    %d\n", res.Cycles)
+	for _, c := range res.Cores {
+		fmt.Printf("  core %-12s IPC %.4f (%d insts)\n", c.App, c.IPC, c.Insts)
+	}
+	fmt.Printf("IPC sum:   %.4f\n", res.IPCSum())
+	fmt.Printf("LLC MPKI:  %.1f\n", res.LLCMPKI())
+	fmt.Printf("DRAM:      reads %d, writes %d, avg read latency %.1f ns\n",
+		res.MemReads, res.MemWrites, res.AvgReadLatencyNS)
+	fmt.Printf("           ACT %d (fast %d), PRE %d, REF %d, RELOC %d, RBM hops %d\n",
+		res.DRAM.ACT, res.DRAM.ACTFast, res.DRAM.PRE, res.DRAM.REF, res.DRAM.RELOC, res.DRAM.RBMHops)
+	fmt.Printf("row buffer hit rate: %.1f%%\n", res.RowBufferHitRate()*100)
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Printf("in-DRAM cache: hit rate %.1f%%, %d insertions\n",
+			res.InDRAMCacheHitRate()*100, res.Inserted)
+	}
+	b := energy.Compute(energy.DefaultParams(), res, len(res.Cores), cfg.Channels, res.Preset != sim.Base && res.Preset != sim.LLDRAM)
+	fmt.Printf("energy:    total %.3f mJ (CPU %.3f, L1&L2 %.3f, LLC %.3f, off-chip %.3f, DRAM %.3f)\n",
+		b.Total()*1e3, b.CPU*1e3, b.L1L2*1e3, b.LLC*1e3, b.OffChip*1e3, b.DRAM*1e3)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,238 @@
+// Package cache implements the SRAM cache hierarchy of the simulated
+// system (Table 1): per-core L1 (64 kB, 4-way) and L2 (256 kB, 8-way)
+// caches and a shared last-level cache (2 MB per core, 16-way), all
+// write-back write-allocate with LRU replacement and MSHR-based miss
+// handling.
+package cache
+
+import (
+	"fmt"
+)
+
+// Scheduler defers a callback by a number of CPU cycles. The system
+// simulator provides the implementation.
+type Scheduler interface {
+	After(delay int64, fn func(now int64))
+}
+
+// Backend receives misses and write-backs from a cache level: either the
+// next cache level or the memory-system adapter.
+type Backend interface {
+	// Request forwards a block fetch (read) or write-back (write).
+	// onDone fires when a fetch completes; it is nil for write-backs.
+	Request(addr uint64, isWrite bool, coreID int, onDone func(now int64))
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	// Latency is the lookup latency in CPU cycles, applied to hits and to
+	// miss detection before the request goes downstream.
+	Latency int64
+	// MSHRs bounds outstanding misses; 0 means unbounded. Table 1 gives
+	// 8 MSHRs per core at L1; lower levels are modelled unbounded.
+	MSHRs int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0:
+		return fmt.Errorf("cache %s: size, ways and block bytes must be positive", c.Name)
+	case c.SizeBytes%(c.Ways*c.BlockBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*block (%d)",
+			c.Name, c.SizeBytes, c.Ways*c.BlockBytes)
+	case (c.SizeBytes/(c.Ways*c.BlockBytes))&(c.SizeBytes/(c.Ways*c.BlockBytes)-1) != 0:
+		return fmt.Errorf("cache %s: set count must be a power of two", c.Name)
+	case c.Latency < 0 || c.MSHRs < 0:
+		return fmt.Errorf("cache %s: latency and MSHRs must be non-negative", c.Name)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   int64
+}
+
+type mshr struct {
+	blockAddr uint64
+	waiters   []func(now int64)
+	// markDirty records that a write merged into this outstanding fetch,
+	// so the filled line starts dirty.
+	markDirty bool
+}
+
+// Cache is one cache level.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	setsN  uint64
+	shift  uint
+	next   Backend
+	sched  Scheduler
+	mshrs  map[uint64]*mshr
+	clock  int64
+	coreID int // reported downstream for per-core accounting
+
+	// Stats.
+	Hits, Misses      int64
+	WriteBacks        int64
+	MSHRMerges        int64
+	MSHRFullStalls    int64
+	ReadAcc, WriteAcc int64
+}
+
+// New builds a cache level on top of next.
+func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	setsN := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
+	c := &Cache{
+		cfg:    cfg,
+		sets:   make([][]line, setsN),
+		setsN:  uint64(setsN),
+		next:   next,
+		sched:  sched,
+		mshrs:  make(map[uint64]*mshr),
+		coreID: coreID,
+	}
+	shift := uint(0)
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	c.shift = shift
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setAndTag(addr uint64) (setIdx uint64, tag uint64) {
+	block := addr >> c.shift
+	return block & (c.setsN - 1), block / c.setsN
+}
+
+func (c *Cache) blockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+}
+
+// Access performs a load or store. It returns false when the access
+// cannot be accepted this cycle (MSHRs exhausted); the caller must retry.
+// onDone, if non-nil, fires when the data is available (hits: after the
+// lookup latency; misses: when the fill returns).
+func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
+	c.clock++
+	if isWrite {
+		c.WriteAcc++
+	} else {
+		c.ReadAcc++
+	}
+	setIdx, tag := c.setAndTag(addr)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			if isWrite {
+				set[i].dirty = true
+			}
+			c.Hits++
+			if onDone != nil {
+				c.sched.After(c.cfg.Latency, onDone)
+			}
+			return true
+		}
+	}
+
+	// Miss. Merge into an outstanding fetch of the same block if any.
+	blk := c.blockAddr(addr)
+	if m, ok := c.mshrs[blk]; ok {
+		c.MSHRMerges++
+		c.Misses++
+		if isWrite {
+			m.markDirty = true
+		}
+		if onDone != nil {
+			m.waiters = append(m.waiters, onDone)
+		}
+		return true
+	}
+	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
+		c.MSHRFullStalls++
+		return false
+	}
+	c.Misses++
+	m := &mshr{blockAddr: blk, markDirty: isWrite}
+	if onDone != nil {
+		m.waiters = append(m.waiters, onDone)
+	}
+	c.mshrs[blk] = m
+	// Fetch after the lookup latency (miss detection time).
+	c.sched.After(c.cfg.Latency, func(now int64) {
+		c.next.Request(blk, false, c.coreID, func(fillAt int64) { c.fill(blk) })
+	})
+	return true
+}
+
+// fill installs a fetched block, evicting the LRU way (write-back if
+// dirty) and waking all waiters.
+func (c *Cache) fill(blk uint64) {
+	setIdx, tag := c.setAndTag(blk)
+	set := c.sets[setIdx]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.WriteBacks++
+		victimAddr := (set[victim].tag*c.setsN + setIdx) << c.shift
+		c.next.Request(victimAddr, true, c.coreID, nil)
+	}
+	c.clock++
+	m := c.mshrs[blk]
+	set[victim] = line{tag: tag, valid: true, dirty: m.markDirty, lru: c.clock}
+	delete(c.mshrs, blk)
+	for _, w := range m.waiters {
+		c.sched.After(0, w)
+	}
+}
+
+// Request implements Backend, so a Cache can serve as the next level of
+// another Cache: fetches become reads, write-backs become writes.
+func (c *Cache) Request(addr uint64, isWrite bool, coreID int, onDone func(now int64)) {
+	// Lower levels are modelled without an MSHR bound (Table 1 specifies
+	// MSHRs only per core); Access never refuses when MSHRs == 0.
+	if !c.Access(addr, isWrite, onDone) {
+		panic(fmt.Sprintf("cache %s: unbounded level refused a request", c.cfg.Name))
+	}
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Accesses returns the total number of accesses.
+func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }
+
+// OutstandingMisses returns the number of allocated MSHRs.
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

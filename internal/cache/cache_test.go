@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testSched is a deterministic event scheduler for unit tests.
+type testSched struct {
+	now    int64
+	events []struct {
+		at int64
+		fn func(int64)
+	}
+}
+
+func (s *testSched) After(delay int64, fn func(int64)) {
+	s.events = append(s.events, struct {
+		at int64
+		fn func(int64)
+	}{s.now + delay, fn})
+}
+
+// run advances time, firing due events, until none remain or limit cycles
+// pass.
+func (s *testSched) run(limit int64) {
+	for step := int64(0); step < limit; step++ {
+		fired := false
+		for i := 0; i < len(s.events); {
+			if s.events[i].at <= s.now {
+				fn := s.events[i].fn
+				s.events = append(s.events[:i], s.events[i+1:]...)
+				fn(s.now)
+				fired = true
+			} else {
+				i++
+			}
+		}
+		if len(s.events) == 0 && !fired {
+			return
+		}
+		s.now++
+	}
+}
+
+// memStub is a Backend that completes fetches after a fixed delay.
+type memStub struct {
+	sched   *testSched
+	latency int64
+	reads   int
+	writes  int
+	addrs   []uint64
+}
+
+func (m *memStub) Request(addr uint64, isWrite bool, coreID int, onDone func(int64)) {
+	m.addrs = append(m.addrs, addr)
+	if isWrite {
+		m.writes++
+		return
+	}
+	m.reads++
+	m.sched.After(m.latency, func(now int64) {
+		if onDone != nil {
+			onDone(now)
+		}
+	})
+}
+
+func smallCfg() Config {
+	return Config{Name: "t", SizeBytes: 1024, Ways: 2, BlockBytes: 64, Latency: 2, MSHRs: 4}
+}
+
+func newTestCache(t *testing.T, cfg Config) (*Cache, *memStub, *testSched) {
+	t.Helper()
+	s := &testSched{}
+	m := &memStub{sched: s, latency: 20}
+	c, err := New(cfg, m, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := smallCfg()
+	bad.SizeBytes = 1000 // not divisible by ways*block
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted non-divisible size")
+	}
+	bad = smallCfg()
+	bad.SizeBytes = 3 * 2 * 64 // 3 sets: not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted non-power-of-two set count")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, m, s := newTestCache(t, smallCfg())
+	var firstDone, secondDone int64
+	if !c.Access(0x1000, false, func(at int64) { firstDone = at + 1 }) {
+		t.Fatal("first access refused")
+	}
+	s.run(1000)
+	if firstDone == 0 {
+		t.Fatal("miss never completed")
+	}
+	if m.reads != 1 {
+		t.Fatalf("backend reads = %d, want 1", m.reads)
+	}
+	if !c.Access(0x1000, false, func(at int64) { secondDone = at + 1 }) {
+		t.Fatal("second access refused")
+	}
+	s.run(1000)
+	if secondDone == 0 {
+		t.Fatal("hit never completed")
+	}
+	if m.reads != 1 {
+		t.Errorf("hit went to backend: reads = %d", m.reads)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestMSHRMergesSameBlock(t *testing.T) {
+	c, m, s := newTestCache(t, smallCfg())
+	done := 0
+	for i := 0; i < 3; i++ {
+		if !c.Access(0x2000+uint64(i*8), false, func(int64) { done++ }) {
+			t.Fatalf("access %d refused", i)
+		}
+	}
+	s.run(1000)
+	if done != 3 {
+		t.Fatalf("completions = %d, want 3", done)
+	}
+	if m.reads != 1 {
+		t.Errorf("backend reads = %d, want 1 (merged)", m.reads)
+	}
+	if c.MSHRMerges != 2 {
+		t.Errorf("MSHRMerges = %d, want 2", c.MSHRMerges)
+	}
+}
+
+func TestMSHRLimitRefuses(t *testing.T) {
+	c, _, _ := newTestCache(t, smallCfg())
+	for i := 0; i < 4; i++ {
+		if !c.Access(uint64(i)*0x1000, false, nil) {
+			t.Fatalf("access %d refused below MSHR limit", i)
+		}
+	}
+	if c.Access(0x9000, false, nil) {
+		t.Error("access accepted beyond MSHR limit")
+	}
+	if c.MSHRFullStalls != 1 {
+		t.Errorf("MSHRFullStalls = %d, want 1", c.MSHRFullStalls)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := smallCfg()
+	c, m, s := newTestCache(t, cfg)
+	// Fill both ways of set 0 (set count = 1024/128 = 8; stride 8*64=512).
+	c.Access(0x0000, true, nil) // write-allocates, dirty
+	s.run(1000)
+	c.Access(0x0200, false, nil)
+	s.run(1000)
+	// Third block in the same set evicts the LRU (0x0000, dirty).
+	c.Access(0x0400, false, nil)
+	s.run(1000)
+	if c.WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d, want 1", c.WriteBacks)
+	}
+	if m.writes != 1 {
+		t.Fatalf("backend writes = %d, want 1", m.writes)
+	}
+	// The write-back address must be the evicted block's address.
+	found := false
+	for _, a := range m.addrs {
+		if a == 0x0000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("write-back address missing: %#x", m.addrs)
+	}
+	// Re-access of the evicted block misses again.
+	c.Access(0x0000, false, nil)
+	s.run(1000)
+	if c.Misses != 4 {
+		t.Errorf("Misses = %d, want 4", c.Misses)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	c, _, s := newTestCache(t, smallCfg())
+	c.Access(0x0000, false, nil)
+	s.run(1000)
+	c.Access(0x0200, false, nil)
+	s.run(1000)
+	// Touch 0x0000 so 0x0200 becomes LRU.
+	c.Access(0x0000, false, nil)
+	s.run(1000)
+	c.Access(0x0400, false, nil) // evicts 0x0200
+	s.run(1000)
+	c.Access(0x0000, false, nil) // must still hit
+	s.run(1000)
+	if c.Hits != 2 {
+		t.Errorf("Hits = %d, want 2 (touch + re-access)", c.Hits)
+	}
+}
+
+func TestWriteMergeIntoOutstandingFetchMarksDirty(t *testing.T) {
+	c, m, s := newTestCache(t, smallCfg())
+	c.Access(0x0000, false, nil)
+	c.Access(0x0000, true, nil) // merges, marks dirty
+	s.run(1000)
+	// Evict it via two more blocks in set 0; must write back.
+	c.Access(0x0200, false, nil)
+	s.run(1000)
+	c.Access(0x0400, false, nil)
+	s.run(1000)
+	if m.writes != 1 {
+		t.Errorf("backend writes = %d, want 1 (merged write dirtied the line)", m.writes)
+	}
+}
+
+func TestHierarchyPropagatesMisses(t *testing.T) {
+	s := &testSched{}
+	m := &memStub{sched: s, latency: 50}
+	h, err := NewHierarchy(DefaultHierarchyConfig(2), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.L1s) != 2 || len(h.L2s) != 2 {
+		t.Fatalf("hierarchy has %d L1s / %d L2s, want 2/2", len(h.L1s), len(h.L2s))
+	}
+	done := false
+	h.L1s[0].Access(0xABC000, false, func(int64) { done = true })
+	s.run(5000)
+	if !done {
+		t.Fatal("access never completed through the hierarchy")
+	}
+	if h.L1s[0].Misses != 1 || h.L2s[0].Misses != 1 || h.LLC.Misses != 1 {
+		t.Errorf("misses L1/L2/LLC = %d/%d/%d, want 1/1/1",
+			h.L1s[0].Misses, h.L2s[0].Misses, h.LLC.Misses)
+	}
+	if m.reads != 1 {
+		t.Errorf("memory reads = %d, want 1", m.reads)
+	}
+	// A second access from the other core hits in the shared LLC.
+	done = false
+	h.L1s[1].Access(0xABC000, false, func(int64) { done = true })
+	s.run(5000)
+	if !done {
+		t.Fatal("cross-core access never completed")
+	}
+	if h.LLC.Hits != 1 {
+		t.Errorf("LLC hits = %d, want 1 (shared)", h.LLC.Hits)
+	}
+	if m.reads != 1 {
+		t.Errorf("memory reads = %d, want 1 (LLC absorbed)", m.reads)
+	}
+}
+
+func TestLLCMPKI(t *testing.T) {
+	s := &testSched{}
+	m := &memStub{sched: s, latency: 10}
+	h, err := NewHierarchy(DefaultHierarchyConfig(1), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.L1s[0].Access(uint64(i)*1<<20, false, nil)
+		s.run(1000)
+	}
+	if got := h.LLCMPKI(1000); got != 10 {
+		t.Errorf("LLCMPKI = %g, want 10", got)
+	}
+}
+
+// Property: for any access sequence, hits+misses equals accesses, and the
+// number of distinct blocks fetched never exceeds the number of misses.
+func TestPropertyCacheAccounting(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		s := &testSched{}
+		m := &memStub{sched: s, latency: 5}
+		c, err := New(smallCfg(), m, s, 0)
+		if err != nil {
+			return false
+		}
+		accepted := int64(0)
+		for _, a := range addrs {
+			if c.Access(uint64(a), a%5 == 0, nil) {
+				accepted++
+			}
+			s.run(100)
+		}
+		return c.Hits+c.Misses == accepted && int64(m.reads) <= c.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig describes the full SRAM hierarchy of Table 1.
+type HierarchyConfig struct {
+	L1    Config
+	L2    Config
+	LLC   Config // total size; the caller scales by core count
+	Cores int
+}
+
+// DefaultHierarchyConfig returns Table 1's hierarchy for the given core
+// count: L1 4-way 64 kB, L2 8-way 256 kB, LLC 16-way 2 MB per core,
+// 64 B blocks, 8 MSHRs per core.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		L1:    Config{Name: "L1", SizeBytes: 64 << 10, Ways: 4, BlockBytes: 64, Latency: 4, MSHRs: 8},
+		L2:    Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, BlockBytes: 64, Latency: 12},
+		LLC:   Config{Name: "LLC", SizeBytes: cores * (2 << 20), Ways: 16, BlockBytes: 64, Latency: 38},
+	}
+}
+
+// Hierarchy wires per-core L1+L2 caches to a shared LLC over a memory
+// backend.
+type Hierarchy struct {
+	L1s []*Cache
+	L2s []*Cache
+	LLC *Cache
+}
+
+// NewHierarchy builds the hierarchy on top of mem.
+func NewHierarchy(cfg HierarchyConfig, mem Backend, sched Scheduler) (*Hierarchy, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cache: cores must be positive, got %d", cfg.Cores)
+	}
+	llc, err := New(cfg.LLC, mem, sched, -1)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{LLC: llc}
+	for i := 0; i < cfg.Cores; i++ {
+		l2cfg := cfg.L2
+		l2cfg.Name = fmt.Sprintf("L2.%d", i)
+		l2, err := New(l2cfg, llc, sched, i)
+		if err != nil {
+			return nil, err
+		}
+		l1cfg := cfg.L1
+		l1cfg.Name = fmt.Sprintf("L1.%d", i)
+		l1, err := New(l1cfg, l2, sched, i)
+		if err != nil {
+			return nil, err
+		}
+		h.L1s = append(h.L1s, l1)
+		h.L2s = append(h.L2s, l2)
+	}
+	return h, nil
+}
+
+// LLCMPKI returns the last-level-cache misses per kilo-instruction given
+// the retired instruction count — the paper's memory-intensity metric
+// (Table 2 classifies applications at 10 MPKI).
+func (h *Hierarchy) LLCMPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(h.LLC.Misses) / float64(instructions) * 1000
+}

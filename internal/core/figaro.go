@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// FunctionalBank is a data-carrying model of one DRAM bank that verifies
+// the FIGARO relocation semantics of Section 4.1: every subarray has a
+// local row buffer (LRB), all LRBs connect to one shared global row buffer
+// (GRB), and the RELOC command copies one column from the activated LRB to
+// any column of another subarray's (precharged) LRB. A subsequent
+// ACTIVATE of a destination row overwrites only the cells connected to
+// bitlines that the GRB drove to a stable state; all other cells keep
+// their values (Figure 4, step 5).
+//
+// The timing model lives in internal/dram; FunctionalBank proves the data
+// path is correct (unaligned copies, partial-row overwrite, ECC lockstep).
+type FunctionalBank struct {
+	cols      int // columns per row (one column = one block at rank level)
+	colBytes  int // bytes per column across the rank (64 for x8 DDR4)
+	subarrays []*subarray
+
+	// activated is the subarray whose wordline is asserted (source of
+	// RELOC), or -1. FIGARO adds a per-subarray row-address latch so a
+	// second subarray can be activated for the destination without
+	// precharging the first (Section 4.1, "Issuing Multiple Activations
+	// Without a Precharge").
+	activated    int
+	activatedRow int
+}
+
+type subarray struct {
+	rows [][]byte // rows × (cols*colBytes) cell array
+
+	lrb       []byte // local row buffer contents
+	lrbValid  bool   // LRB holds a sensed row
+	lrbDriven []bool // per-column: bitlines driven to a stable state by the GRB
+}
+
+// NewFunctionalBank builds a bank with the given number of subarrays, rows
+// per subarray, columns per row and bytes per column.
+func NewFunctionalBank(subarrays, rowsPerSubarray, cols, colBytes int) (*FunctionalBank, error) {
+	if subarrays <= 0 || rowsPerSubarray <= 0 || cols <= 0 || colBytes <= 0 {
+		return nil, fmt.Errorf("core: all functional bank dimensions must be positive")
+	}
+	b := &FunctionalBank{cols: cols, colBytes: colBytes, activated: -1}
+	for i := 0; i < subarrays; i++ {
+		sa := &subarray{
+			rows:      make([][]byte, rowsPerSubarray),
+			lrb:       make([]byte, cols*colBytes),
+			lrbDriven: make([]bool, cols),
+		}
+		for r := range sa.rows {
+			sa.rows[r] = make([]byte, cols*colBytes)
+		}
+		b.subarrays = append(b.subarrays, sa)
+	}
+	return b, nil
+}
+
+// WriteRow stores data directly into the cell array (test setup; models
+// data previously written through the normal WRITE path).
+func (b *FunctionalBank) WriteRow(sub, row int, data []byte) error {
+	sa, err := b.subarrayAt(sub)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= len(sa.rows) {
+		return fmt.Errorf("core: row %d out of range", row)
+	}
+	if len(data) != b.cols*b.colBytes {
+		return fmt.Errorf("core: row data must be %d bytes, got %d", b.cols*b.colBytes, len(data))
+	}
+	copy(sa.rows[row], data)
+	return nil
+}
+
+// ReadRow returns a copy of a row's cell contents.
+func (b *FunctionalBank) ReadRow(sub, row int) ([]byte, error) {
+	sa, err := b.subarrayAt(sub)
+	if err != nil {
+		return nil, err
+	}
+	if row < 0 || row >= len(sa.rows) {
+		return nil, fmt.Errorf("core: row %d out of range", row)
+	}
+	out := make([]byte, len(sa.rows[row]))
+	copy(out, sa.rows[row])
+	return out, nil
+}
+
+// Activate asserts the wordline of (sub, row): the row's cells are sensed
+// into the subarray's LRB. If the destination LRB holds GRB-driven
+// columns (from prior RELOCs), those columns overwrite the corresponding
+// cells of the activated row instead — the FIGARO destination-activate
+// step — and the remaining cells load into the LRB as usual.
+func (b *FunctionalBank) Activate(sub, row int) error {
+	sa, err := b.subarrayAt(sub)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= len(sa.rows) {
+		return fmt.Errorf("core: row %d out of range", row)
+	}
+	if b.activated == sub {
+		return fmt.Errorf("core: subarray %d already has an activated row; precharge first", sub)
+	}
+	cells := sa.rows[row]
+	for col := 0; col < b.cols; col++ {
+		lo, hi := col*b.colBytes, (col+1)*b.colBytes
+		if sa.lrbDriven[col] {
+			// Bitlines already stable at the relocated value: the cells
+			// are overwritten, other cells keep their original values.
+			copy(cells[lo:hi], sa.lrb[lo:hi])
+		} else {
+			copy(sa.lrb[lo:hi], cells[lo:hi])
+		}
+	}
+	sa.lrbValid = true
+	b.activated = sub
+	b.activatedRow = row
+	return nil
+}
+
+// Reloc copies the column srcCol of the currently activated subarray's LRB
+// into column dstCol of subarray dstSub's LRB via the global row buffer.
+// Source and destination columns may differ (unaligned relocation). The
+// destination subarray must be precharged (its LRB idle) or already the
+// target of earlier RELOCs.
+func (b *FunctionalBank) Reloc(srcCol, dstSub, dstCol int) error {
+	if b.activated < 0 {
+		return fmt.Errorf("core: RELOC requires an activated source row")
+	}
+	if dstSub == b.activated {
+		return fmt.Errorf("core: FIGARO cannot relocate within subarray %d (source and destination LRB are the same)", dstSub)
+	}
+	dst, err := b.subarrayAt(dstSub)
+	if err != nil {
+		return err
+	}
+	if srcCol < 0 || srcCol >= b.cols || dstCol < 0 || dstCol >= b.cols {
+		return fmt.Errorf("core: column out of range (src %d, dst %d, cols %d)", srcCol, dstCol, b.cols)
+	}
+	if dst.lrbValid {
+		return fmt.Errorf("core: destination subarray %d has an activated row", dstSub)
+	}
+	src := b.subarrays[b.activated]
+	// GRB senses the source column and drives the destination bitlines to
+	// a stable state; the destination LRB latches the value.
+	grb := src.lrb[srcCol*b.colBytes : (srcCol+1)*b.colBytes]
+	copy(dst.lrb[dstCol*b.colBytes:(dstCol+1)*b.colBytes], grb)
+	dst.lrbDriven[dstCol] = true
+	return nil
+}
+
+// Precharge releases the bank: the activated row (if any) is restored to
+// its cells, and every LRB returns to the precharged state.
+func (b *FunctionalBank) Precharge() {
+	if b.activated >= 0 {
+		sa := b.subarrays[b.activated]
+		copy(sa.rows[b.activatedRow], sa.lrb)
+	}
+	for _, sa := range b.subarrays {
+		sa.lrbValid = false
+		for i := range sa.lrbDriven {
+			sa.lrbDriven[i] = false
+		}
+	}
+	b.activated = -1
+}
+
+// RelocateSegment performs the full FIGCache insertion sequence of
+// Section 5: activate the source row, RELOC each column of the segment
+// into the destination LRB (unaligned: the segment lands at dstStartCol),
+// activate the destination row to commit the columns, and precharge.
+func (b *FunctionalBank) RelocateSegment(srcSub, srcRow, srcStartCol int, dstSub, dstRow, dstStartCol, blocks int) error {
+	if err := b.Activate(srcSub, srcRow); err != nil {
+		return err
+	}
+	for i := 0; i < blocks; i++ {
+		if err := b.Reloc(srcStartCol+i, dstSub, dstStartCol+i); err != nil {
+			return err
+		}
+	}
+	// Commit: activating the destination row overwrites the relocated
+	// columns while preserving the rest of the row. The source subarray
+	// wordline remains asserted via FIGARO's per-subarray row-address
+	// latch; the functional model only needs the destination effect.
+	src := b.activated
+	srcR := b.activatedRow
+	b.activated = -1 // allow the destination activate
+	if err := b.Activate(dstSub, dstRow); err != nil {
+		b.activated, b.activatedRow = src, srcR
+		return err
+	}
+	b.Precharge()
+	return nil
+}
+
+// Column returns a copy of one column of a row in the cell array.
+func (b *FunctionalBank) Column(sub, row, col int) ([]byte, error) {
+	r, err := b.ReadRow(sub, row)
+	if err != nil {
+		return nil, err
+	}
+	if col < 0 || col >= b.cols {
+		return nil, fmt.Errorf("core: column %d out of range", col)
+	}
+	return r[col*b.colBytes : (col+1)*b.colBytes], nil
+}
+
+// ColumnsEqual reports whether two columns hold identical data.
+func (b *FunctionalBank) ColumnsEqual(subA, rowA, colA, subB, rowB, colB int) (bool, error) {
+	a, err := b.Column(subA, rowA, colA)
+	if err != nil {
+		return false, err
+	}
+	c, err := b.Column(subB, rowB, colB)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(a, c), nil
+}
+
+func (b *FunctionalBank) subarrayAt(i int) (*subarray, error) {
+	if i < 0 || i >= len(b.subarrays) {
+		return nil, fmt.Errorf("core: subarray %d out of range [0,%d)", i, len(b.subarrays))
+	}
+	return b.subarrays[i], nil
+}

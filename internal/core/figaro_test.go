@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newBank(t *testing.T) *FunctionalBank {
+	t.Helper()
+	b, err := NewFunctionalBank(4, 8, 16, 8) // 4 subarrays, 8 rows, 16 cols, 8 B/col
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fillRow writes a recognizable pattern into a row: byte = base + col.
+func fillRow(t *testing.T, b *FunctionalBank, sub, row int, base byte) {
+	t.Helper()
+	data := make([]byte, 16*8)
+	for col := 0; col < 16; col++ {
+		for j := 0; j < 8; j++ {
+			data[col*8+j] = base + byte(col)
+		}
+	}
+	if err := b.WriteRow(sub, row, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionalBankRejectsBadDims(t *testing.T) {
+	if _, err := NewFunctionalBank(0, 8, 16, 8); err == nil {
+		t.Error("accepted zero subarrays")
+	}
+	if _, err := NewFunctionalBank(4, 8, 16, 0); err == nil {
+		t.Error("accepted zero column bytes")
+	}
+}
+
+func TestRelocFigure4Example(t *testing.T) {
+	// Reproduce Figure 4: ACTIVATE subarray A row 0, RELOC col 3 -> B col
+	// 1, ACTIVATE subarray B row 0. B's row must hold A3 in column 1 and
+	// its original data everywhere else.
+	b := newBank(t)
+	fillRow(t, b, 0, 0, 0x10) // subarray A: A0..A15 = 0x10..0x1F
+	fillRow(t, b, 1, 0, 0x50) // subarray B: B0..B15 = 0x50..0x5F
+
+	if err := b.Activate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reloc(3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Destination activate commits the relocated column.
+	b.activated = -1 // the controller tracks the second activation
+	if err := b.Activate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Precharge()
+
+	got, err := b.ReadRow(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < 16; col++ {
+		want := byte(0x50 + col) // original B data
+		if col == 1 {
+			want = 0x13 // A3 relocated into column 1
+		}
+		for j := 0; j < 8; j++ {
+			if got[col*8+j] != want {
+				t.Fatalf("col %d byte %d = %#x, want %#x", col, j, got[col*8+j], want)
+			}
+		}
+	}
+}
+
+func TestRelocRequiresActivation(t *testing.T) {
+	b := newBank(t)
+	if err := b.Reloc(0, 1, 0); err == nil {
+		t.Error("RELOC allowed without an activated source row")
+	}
+}
+
+func TestRelocSameSubarrayRejected(t *testing.T) {
+	// Section 5.2: FIGARO cannot relocate data within the same subarray —
+	// the source and destination would share one LRB.
+	b := newBank(t)
+	if err := b.Activate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reloc(0, 0, 1); err == nil {
+		t.Error("RELOC allowed within the source subarray")
+	}
+}
+
+func TestRelocColumnBounds(t *testing.T) {
+	b := newBank(t)
+	if err := b.Activate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reloc(16, 1, 0); err == nil {
+		t.Error("RELOC accepted out-of-range source column")
+	}
+	if err := b.Reloc(0, 1, -1); err == nil {
+		t.Error("RELOC accepted negative destination column")
+	}
+	if err := b.Reloc(0, 9, 0); err == nil {
+		t.Error("RELOC accepted out-of-range destination subarray")
+	}
+}
+
+func TestSecondActivationWithoutPrechargeRejectedSameSubarray(t *testing.T) {
+	b := newBank(t)
+	if err := b.Activate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate(0, 1); err == nil {
+		t.Error("second activation in the same subarray without precharge")
+	}
+}
+
+func TestRelocateSegmentUnaligned(t *testing.T) {
+	// Relocate a 4-column segment from columns 8..11 of subarray 2 into
+	// columns 0..3 of a row in subarray 3 (unaligned copy through the
+	// GRB).
+	b := newBank(t)
+	fillRow(t, b, 2, 5, 0x80)
+	fillRow(t, b, 3, 2, 0x20)
+	if err := b.RelocateSegment(2, 5, 8, 3, 2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		eq, err := b.ColumnsEqual(2, 5, 8+i, 3, 2, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("segment column %d not relocated", i)
+		}
+	}
+	// Columns 4..15 of the destination row keep their original values.
+	got, _ := b.ReadRow(3, 2)
+	for col := 4; col < 16; col++ {
+		if got[col*8] != byte(0x20+col) {
+			t.Errorf("destination col %d corrupted: %#x", col, got[col*8])
+		}
+	}
+	// The source row is unmodified.
+	src, _ := b.ReadRow(2, 5)
+	for col := 0; col < 16; col++ {
+		if src[col*8] != byte(0x80+col) {
+			t.Errorf("source col %d corrupted: %#x", col, src[col*8])
+		}
+	}
+}
+
+func TestMultipleRelocsSameDestinationRow(t *testing.T) {
+	// FIGCache packs segments from different source rows into one cache
+	// row; verify two relocation bursts into disjoint columns coexist.
+	b := newBank(t)
+	fillRow(t, b, 0, 0, 0x10)
+	fillRow(t, b, 1, 0, 0x40)
+	fillRow(t, b, 3, 7, 0x00)
+	if err := b.RelocateSegment(0, 0, 0, 3, 7, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RelocateSegment(1, 0, 4, 3, 7, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.ReadRow(3, 7)
+	for col := 0; col < 4; col++ {
+		if got[col*8] != byte(0x10+col) {
+			t.Errorf("col %d = %#x, want data from subarray 0", col, got[col*8])
+		}
+	}
+	for col := 4; col < 8; col++ {
+		if got[col*8] != byte(0x40+col) {
+			t.Errorf("col %d = %#x, want data from subarray 1", col, got[col*8])
+		}
+	}
+}
+
+func TestPrechargeRestoresActivatedRow(t *testing.T) {
+	b := newBank(t)
+	fillRow(t, b, 0, 3, 0x70)
+	if err := b.Activate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.Precharge()
+	got, _ := b.ReadRow(0, 3)
+	if got[0] != 0x70 {
+		t.Errorf("row corrupted after activate/precharge: %#x", got[0])
+	}
+	// Bank is idle again: a new activation anywhere succeeds.
+	if err := b.Activate(1, 0); err != nil {
+		t.Errorf("activate after precharge failed: %v", err)
+	}
+}
+
+// Property: relocating any segment preserves the source row exactly and
+// changes only the targeted destination columns.
+func TestPropertyRelocPreservesUntouchedData(t *testing.T) {
+	f := func(srcRow, dstRow, srcStart, dstStart, nBlocks uint8, seed int64) bool {
+		b, err := NewFunctionalBank(4, 8, 16, 8)
+		if err != nil {
+			return false
+		}
+		sr, dr := int(srcRow)%8, int(dstRow)%8
+		n := int(nBlocks)%4 + 1
+		ss := int(srcStart) % (16 - n + 1)
+		ds := int(dstStart) % (16 - n + 1)
+
+		mkRow := func(tag byte) []byte {
+			d := make([]byte, 16*8)
+			for i := range d {
+				d[i] = tag ^ byte(i*7+int(seed))
+			}
+			return d
+		}
+		srcData, dstData := mkRow(0xAA), mkRow(0x33)
+		if err := b.WriteRow(0, sr, srcData); err != nil {
+			return false
+		}
+		if err := b.WriteRow(2, dr, dstData); err != nil {
+			return false
+		}
+		if err := b.RelocateSegment(0, sr, ss, 2, dr, ds, n); err != nil {
+			return false
+		}
+		gotSrc, _ := b.ReadRow(0, sr)
+		if !bytes.Equal(gotSrc, srcData) {
+			return false
+		}
+		gotDst, _ := b.ReadRow(2, dr)
+		for col := 0; col < 16; col++ {
+			lo, hi := col*8, (col+1)*8
+			if col >= ds && col < ds+n {
+				srcCol := ss + (col - ds)
+				if !bytes.Equal(gotDst[lo:hi], srcData[srcCol*8:(srcCol+1)*8]) {
+					return false
+				}
+			} else if !bytes.Equal(gotDst[lo:hi], dstData[lo:hi]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import "fmt"
+
+// segKey uniquely identifies a row segment within one bank: the source
+// row and the segment index within that row. It is the "tag (original
+// address)" field of an FTS entry (Figure 6).
+type segKey uint64
+
+func makeSegKey(row, seg int) segKey { return segKey(uint64(row)<<8 | uint64(seg)) }
+
+func (k segKey) row() int { return int(k >> 8) }
+func (k segKey) seg() int { return int(k & 0xff) }
+
+// ftsEntry is one entry of the FIGCache tag store: the tag of the cached
+// segment, valid and dirty bits, and the saturating benefit counter used
+// by the replacement policy (Section 5.1).
+type ftsEntry struct {
+	key     segKey
+	valid   bool
+	dirty   bool
+	benefit uint8
+	lastUse int64 // logical timestamp for the LRU comparison policy
+}
+
+// FTS is the FIGCache tag store for one bank: a fully-associative array
+// with one entry per in-DRAM cache slot, where each slot holds one row
+// segment. The paper's configuration has 512 slots per bank (64 cache
+// rows x 8 segments per row).
+type FTS struct {
+	entries    []ftsEntry
+	index      map[segKey]int // valid tag -> slot
+	segsPerRow int            // cache slots per cache row
+	benefitMax uint8          // saturation value (5-bit counter -> 31)
+	clock      int64
+
+	// reserved marks slots claimed by an in-flight insertion (planned but
+	// not yet executed by the controller); they are neither allocatable
+	// nor evictable until the insertion commits.
+	reserved map[int]bool
+
+	// rowIndex, when attached via SetRowIndex, maintains per-row benefit
+	// sums and dirty bitvectors incrementally (the Dirty-Block-Index
+	// optimization of Section 5.1 footnote 2).
+	rowIndex *RowIndex
+
+	// Stats.
+	Hits, Misses int64
+}
+
+// NewFTS builds a tag store with slots entries, segsPerRow slots per cache
+// row, and a benefit counter of benefitBits bits.
+func NewFTS(slots, segsPerRow, benefitBits int) (*FTS, error) {
+	if slots <= 0 || segsPerRow <= 0 || slots%segsPerRow != 0 {
+		return nil, fmt.Errorf("core: slots (%d) must be a positive multiple of segsPerRow (%d)", slots, segsPerRow)
+	}
+	if benefitBits <= 0 || benefitBits > 8 {
+		return nil, fmt.Errorf("core: benefitBits must be in [1,8], got %d", benefitBits)
+	}
+	return &FTS{
+		entries:    make([]ftsEntry, slots),
+		index:      make(map[segKey]int, slots),
+		segsPerRow: segsPerRow,
+		benefitMax: uint8(1<<benefitBits - 1),
+		reserved:   make(map[int]bool),
+	}, nil
+}
+
+// Slots returns the number of cache slots the FTS tracks.
+func (f *FTS) Slots() int { return len(f.entries) }
+
+// CacheRows returns the number of cache rows covered by the FTS.
+func (f *FTS) CacheRows() int { return len(f.entries) / f.segsPerRow }
+
+// SegsPerRow returns the number of segments per cache row.
+func (f *FTS) SegsPerRow() int { return f.segsPerRow }
+
+// Lookup checks whether the segment (row, seg) is cached. On a hit it
+// increments the benefit counter (saturating), optionally sets the dirty
+// bit, and returns the slot index.
+func (f *FTS) Lookup(row, seg int, isWrite bool) (slot int, hit bool) {
+	f.clock++
+	i, ok := f.index[makeSegKey(row, seg)]
+	if !ok {
+		f.Misses++
+		return 0, false
+	}
+	e := &f.entries[i]
+	delta := 0
+	if e.benefit < f.benefitMax {
+		e.benefit++
+		delta = 1
+	}
+	if isWrite {
+		e.dirty = true
+	}
+	e.lastUse = f.clock
+	if f.rowIndex != nil {
+		f.rowIndex.OnHit(i, delta, isWrite)
+	}
+	f.Hits++
+	return i, true
+}
+
+// Contains reports whether a segment is cached without touching metadata.
+func (f *FTS) Contains(row, seg int) bool {
+	_, ok := f.index[makeSegKey(row, seg)]
+	return ok
+}
+
+// FreeSlot returns an invalid, unreserved slot index, or (0, false) if
+// the cache is full. Slots are scanned in order, so consecutive
+// insertions pack into the same cache row (the co-location Section 5.1
+// relies on).
+func (f *FTS) FreeSlot() (int, bool) {
+	for i, e := range f.entries {
+		if !e.valid && !f.reserved[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Reserve claims a slot for an in-flight insertion; Unreserve releases
+// it. Reserved slots are skipped by FreeSlot and by replacement.
+func (f *FTS) Reserve(slot int)         { f.reserved[slot] = true }
+func (f *FTS) Unreserve(slot int)       { delete(f.reserved, slot) }
+func (f *FTS) IsReserved(slot int) bool { return f.reserved[slot] }
+
+// Install fills a slot with a new segment, resetting its metadata. Any
+// previous valid entry in the slot must have been evicted first.
+func (f *FTS) Install(slot, row, seg int, dirty bool) {
+	f.clock++
+	e := &f.entries[slot]
+	if e.valid {
+		delete(f.index, e.key)
+	}
+	if f.rowIndex != nil {
+		old, oldDirty := 0, false
+		if e.valid {
+			old, oldDirty = int(e.benefit), e.dirty
+		}
+		f.rowIndex.OnInstall(slot, old, oldDirty)
+		if dirty {
+			f.rowIndex.OnHit(slot, 0, true)
+		}
+	}
+	key := makeSegKey(row, seg)
+	*e = ftsEntry{key: key, valid: true, dirty: dirty, benefit: 0, lastUse: f.clock}
+	f.index[key] = slot
+}
+
+// Evict invalidates a slot and returns its tag and dirty bit, so the
+// caller can schedule a write-back relocation for dirty victims.
+func (f *FTS) Evict(slot int) (row, seg int, dirty, wasValid bool) {
+	e := &f.entries[slot]
+	if !e.valid {
+		return 0, 0, false, false
+	}
+	delete(f.index, e.key)
+	row, seg, dirty = e.key.row(), e.key.seg(), e.dirty
+	if f.rowIndex != nil {
+		f.rowIndex.OnEvict(slot, int(e.benefit), e.dirty)
+	}
+	*e = ftsEntry{}
+	return row, seg, dirty, true
+}
+
+// RowOfSlot returns the cache row holding a slot.
+func (f *FTS) RowOfSlot(slot int) int { return slot / f.segsPerRow }
+
+// SlotOffset returns the segment position of a slot within its cache row.
+func (f *FTS) SlotOffset(slot int) int { return slot % f.segsPerRow }
+
+// RowBenefit returns the cumulative benefit of all valid segments in a
+// cache row — the quantity the RowBenefit replacement policy minimizes
+// (Section 5.1; the paper notes a Dirty-Block-Index-style structure can
+// maintain these sums in hardware).
+func (f *FTS) RowBenefit(cacheRow int) int {
+	sum := 0
+	for i := cacheRow * f.segsPerRow; i < (cacheRow+1)*f.segsPerRow; i++ {
+		if f.entries[i].valid {
+			sum += int(f.entries[i].benefit)
+		}
+	}
+	return sum
+}
+
+// ValidSlots returns the number of valid entries.
+func (f *FTS) ValidSlots() int {
+	n := 0
+	for _, e := range f.entries {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (f *FTS) HitRate() float64 {
+	total := f.Hits + f.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(total)
+}
+
+// entry returns a copy of a slot's entry (tests and policies).
+func (f *FTS) entry(slot int) ftsEntry { return f.entries[slot] }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// LISAVillaConfig parameterizes the LISA-VILLA baseline in-DRAM cache
+// (Section 3): whole DRAM rows are cached into fast subarrays that are
+// physically interleaved among the slow subarrays, and relocation uses
+// LISA's row-buffer movement, whose latency grows with the hop distance
+// between source and destination subarrays.
+type LISAVillaConfig struct {
+	// CacheRowsPerBank is the cache capacity in rows (512 in the paper:
+	// 16 fast subarrays x 32 rows).
+	CacheRowsPerBank int
+	// FastSubarrays is the number of interleaved fast subarrays (16).
+	FastSubarrays int
+	// HotThreshold is the number of activations a row must see before
+	// VILLA caches it. Row-granularity insert-any-miss would relocate an
+	// 8 kB row on every activation, so VILLA caches only rows with
+	// demonstrated reuse.
+	HotThreshold int
+	// EpochMisses controls the hot-row counter decay: after this many
+	// misses in a bank, all counters are halved, so stale rows lose their
+	// "hot" status.
+	EpochMisses int
+	// Seed for deterministic internal tie-breaking.
+	Seed uint64
+}
+
+// DefaultLISAVillaConfig returns the paper's LISA-VILLA configuration
+// (Table 1: 512-row in-DRAM cache per bank, 16 fast subarrays).
+func DefaultLISAVillaConfig() LISAVillaConfig {
+	return LISAVillaConfig{
+		CacheRowsPerBank: 512,
+		FastSubarrays:    16,
+		HotThreshold:     2,
+		EpochMisses:      4096,
+		Seed:             1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c LISAVillaConfig) Validate(geo dram.Geometry) error {
+	switch {
+	case c.CacheRowsPerBank <= 0:
+		return fmt.Errorf("core: LISA cache rows must be positive, got %d", c.CacheRowsPerBank)
+	case c.FastSubarrays <= 0:
+		return fmt.Errorf("core: LISA fast subarrays must be positive, got %d", c.FastSubarrays)
+	case c.HotThreshold <= 0:
+		return fmt.Errorf("core: LISA hot threshold must be positive, got %d", c.HotThreshold)
+	case c.EpochMisses <= 0:
+		return fmt.Errorf("core: LISA epoch must be positive, got %d", c.EpochMisses)
+	}
+	return nil
+}
+
+// LISAVilla implements memctrl.CacheHook for the LISA-VILLA baseline.
+type LISAVilla struct {
+	cfg LISAVillaConfig
+	geo dram.Geometry
+
+	banks []*lisaBank
+
+	// Stats.
+	Insertions int64
+	Evictions  int64
+	WriteBacks int64
+	TotalHops  int64
+}
+
+type lisaBank struct {
+	// rows[i] describes cache row i.
+	rows []lisaRow
+	// index maps a cached source row to its cache row.
+	index map[int]int
+	// inflight marks source rows whose relocation is planned but not yet
+	// executed by the controller.
+	inflight map[int]bool
+	// hot tracks per-source-row activation counts for the insertion
+	// policy, decayed every EpochMisses misses.
+	hot         map[int]int
+	missesEpoch int
+	clock       int64
+	hits        int64
+	misses      int64
+}
+
+type lisaRow struct {
+	srcRow  int
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+// NewLISAVilla builds the baseline cache over the channel geometry.
+func NewLISAVilla(cfg LISAVillaConfig, geo dram.Geometry) (*LISAVilla, error) {
+	if err := cfg.Validate(geo); err != nil {
+		return nil, err
+	}
+	l := &LISAVilla{cfg: cfg, geo: geo}
+	nBanks := geo.Ranks * geo.BanksPerRank()
+	for i := 0; i < nBanks; i++ {
+		l.banks = append(l.banks, &lisaBank{
+			rows:     make([]lisaRow, cfg.CacheRowsPerBank),
+			index:    make(map[int]int, cfg.CacheRowsPerBank),
+			inflight: make(map[int]bool),
+			hot:      make(map[int]int),
+		})
+	}
+	return l, nil
+}
+
+// Hops returns the LISA relocation hop count for a source row: the number
+// of inter-subarray steps between the row's subarray and the nearest
+// interleaved fast subarray. With F fast subarrays interleaved among S
+// slow ones, each fast subarray serves a run of S/F slow subarrays placed
+// around its position; a row in the middle of a run is 1 hop away, at the
+// edges up to (S/F)/2+1 hops. This is the distance-dependence FIGARO
+// eliminates (Section 3).
+func (l *LISAVilla) Hops(srcRow int) int {
+	sub := l.geo.SubarrayOfRow(srcRow)
+	run := l.geo.SubarraysPerBank / l.cfg.FastSubarrays // slow subarrays per fast subarray
+	if run < 1 {
+		run = 1
+	}
+	pos := sub % run
+	// The fast subarray sits at the center of its run; hop count is the
+	// distance to the center, minimum 1.
+	center := run / 2
+	d := pos - center
+	if d < 0 {
+		d = -d
+	}
+	return d + 1
+}
+
+// Lookup implements memctrl.CacheHook at row granularity: a request to a
+// cached row is redirected to the same block offset of the cache row in a
+// fast subarray. Caching a whole row cannot improve its row-buffer hit
+// rate — the contents and locality are unchanged — so LISA-VILLA benefits
+// only from the fast subarray's reduced timings (Section 8.1).
+func (l *LISAVilla) Lookup(loc dram.Location, isWrite bool) (dram.Location, bool) {
+	bank := l.banks[loc.BankID(l.geo)]
+	bank.clock++
+	i, ok := bank.index[loc.Row]
+	if !ok {
+		bank.misses++
+		return dram.Location{}, false
+	}
+	r := &bank.rows[i]
+	r.lastUse = bank.clock
+	if isWrite {
+		r.dirty = true
+	}
+	bank.hits++
+	return dram.Location{
+		Rank: loc.Rank, Group: loc.Group, Bank: loc.Bank,
+		Row: i, Block: loc.Block, CacheRow: true,
+	}, true
+}
+
+// ShouldInsert implements VILLA's hot-row insertion policy: cache a row
+// once it has missed HotThreshold times within the decay epoch.
+func (l *LISAVilla) ShouldInsert(loc dram.Location) bool {
+	bank := l.banks[loc.BankID(l.geo)]
+	bank.missesEpoch++
+	if bank.missesEpoch >= l.cfg.EpochMisses {
+		bank.missesEpoch = 0
+		for k, v := range bank.hot {
+			if v <= 1 {
+				delete(bank.hot, k)
+			} else {
+				bank.hot[k] = v / 2
+			}
+		}
+	}
+	bank.hot[loc.Row]++
+	if bank.hot[loc.Row] >= l.cfg.HotThreshold {
+		delete(bank.hot, loc.Row)
+		return true
+	}
+	return false
+}
+
+// Insert implements memctrl.CacheHook: relocate the whole source row into
+// a fast subarray via LISA RBM. The relocation is distance-dependent; a
+// dirty LRU victim first pays a write-back over its own hop distance.
+func (l *LISAVilla) Insert(ch *dram.Channel, loc dram.Location, now int64) *memctrl.RelocPlan {
+	bank := l.banks[loc.BankID(l.geo)]
+	if _, ok := bank.index[loc.Row]; ok {
+		return nil
+	}
+	if bank.inflight[loc.Row] {
+		return nil
+	}
+
+	// A slot is allocatable if it is invalid and not reserved (srcRow < 0
+	// marks a reservation by an in-flight insertion).
+	slot := -1
+	for i := range bank.rows {
+		if !bank.rows[i].valid && bank.rows[i].srcRow >= 0 {
+			slot = i
+			break
+		}
+	}
+	var cost int64
+	hops := l.Hops(loc.Row)
+	if slot < 0 {
+		// Evict the LRU valid (unreserved) cache row.
+		best, bestUse := -1, int64(1)<<62
+		for i := range bank.rows {
+			if bank.rows[i].valid && bank.rows[i].lastUse < bestUse {
+				best, bestUse = i, bank.rows[i].lastUse
+			}
+		}
+		if best < 0 {
+			return nil // everything reserved by in-flight insertions
+		}
+		slot = best
+		victim := bank.rows[slot]
+		delete(bank.index, victim.srcRow)
+		l.Evictions++
+		if victim.dirty {
+			wbHops := l.Hops(victim.srcRow)
+			cost += ch.RBMCost(wbHops, false)
+			hops += wbHops
+			l.WriteBacks++
+		}
+	}
+	// Insertion: the source row is open (the miss just accessed it), so
+	// the RBM sequence skips its ACTIVATE. The tag is installed when the
+	// controller executes the relocation at row-close time; until then
+	// the slot is reserved.
+	insHops := l.Hops(loc.Row)
+	cost += ch.RBMCost(insHops, true)
+	bank.inflight[loc.Row] = true
+	bank.rows[slot] = lisaRow{srcRow: -1}
+	l.Insertions++
+	l.TotalHops += int64(hops)
+	row, theSlot := loc.Row, slot
+	return &memctrl.RelocPlan{Loc: loc, Cost: cost, Hops: hops, IsLISA: true,
+		Commit: func() {
+			delete(bank.inflight, row)
+			bank.clock++
+			bank.rows[theSlot] = lisaRow{srcRow: row, valid: true, lastUse: bank.clock}
+			bank.index[row] = theSlot
+		},
+	}
+}
+
+// HitRate returns the aggregate in-DRAM cache hit rate.
+func (l *LISAVilla) HitRate() float64 {
+	var hits, misses int64
+	for _, b := range l.banks {
+		hits += b.hits
+		misses += b.misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+var _ memctrl.CacheHook = (*LISAVilla)(nil)

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+func newTestLISA(t *testing.T) (*LISAVilla, *dram.Channel) {
+	t.Helper()
+	geo := dram.Default()
+	geo.FastSubarrays = 16
+	l, err := NewLISAVilla(DefaultLISAVillaConfig(), geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, newTestChannel(t, 16)
+}
+
+// lisaInsertNow performs an insertion and immediately commits it.
+func lisaInsertNow(l *LISAVilla, ch *dram.Channel, loc dram.Location) *memctrl.RelocPlan {
+	plan := l.Insert(ch, loc, 0)
+	if plan != nil && plan.Commit != nil {
+		plan.Commit()
+	}
+	return plan
+}
+
+func TestLISAConfigValidate(t *testing.T) {
+	geo := dram.Default()
+	if err := DefaultLISAVillaConfig().Validate(geo); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultLISAVillaConfig()
+	bad.CacheRowsPerBank = 0
+	if err := bad.Validate(geo); err == nil {
+		t.Error("accepted zero cache rows")
+	}
+	bad = DefaultLISAVillaConfig()
+	bad.HotThreshold = 0
+	if err := bad.Validate(geo); err == nil {
+		t.Error("accepted zero hot threshold")
+	}
+}
+
+func TestLISAHotThresholdInsertion(t *testing.T) {
+	l, _ := newTestLISA(t)
+	loc := dram.Location{Row: 77, Block: 0}
+	// Default threshold is 2: first miss does not insert, second does.
+	if l.ShouldInsert(loc) {
+		t.Fatal("inserted on first miss with threshold 2")
+	}
+	if !l.ShouldInsert(loc) {
+		t.Fatal("did not insert on second miss")
+	}
+}
+
+func TestLISARowGranularityCaching(t *testing.T) {
+	l, ch := newTestLISA(t)
+	loc := dram.Location{Row: 77, Block: 3}
+	plan := lisaInsertNow(l, ch, loc)
+	if plan == nil {
+		t.Fatal("Insert returned nil")
+	}
+	if !plan.IsLISA || plan.Hops < 1 {
+		t.Errorf("plan = %+v, want LISA with >= 1 hop", plan)
+	}
+	// Every block of the row hits (row granularity).
+	for _, blk := range []int{0, 64, 127} {
+		redirect, hit := l.Lookup(dram.Location{Row: 77, Block: blk}, false)
+		if !hit {
+			t.Fatalf("block %d missed after whole-row insertion", blk)
+		}
+		if !redirect.CacheRow || redirect.Block != blk {
+			t.Errorf("block %d redirect = %v", blk, redirect)
+		}
+	}
+	// Other rows still miss.
+	if _, hit := l.Lookup(dram.Location{Row: 78, Block: 0}, false); hit {
+		t.Error("uncached row hit")
+	}
+}
+
+func TestLISAHopsDistanceDependent(t *testing.T) {
+	l, _ := newTestLISA(t)
+	// 64 slow subarrays, 16 fast: runs of 4, fast at center (offset 2).
+	// Row in subarray offset 2 of its run: 1 hop; offset 0: 3 hops.
+	rowsPer := dram.Default().RowsPerSubarray
+	center := l.Hops(2 * rowsPer) // subarray 2, offset 2 -> distance 0 -> 1 hop
+	edge := l.Hops(0)             // subarray 0, offset 0 -> distance 2 -> 3 hops
+	if center != 1 {
+		t.Errorf("center hops = %d, want 1", center)
+	}
+	if edge <= center {
+		t.Errorf("edge hops (%d) not greater than center hops (%d)", edge, center)
+	}
+}
+
+func TestLISAEvictionLRUAndWriteBack(t *testing.T) {
+	geo := dram.Default()
+	geo.FastSubarrays = 16
+	cfg := DefaultLISAVillaConfig()
+	cfg.CacheRowsPerBank = 2
+	l, err := NewLISAVilla(cfg, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := newTestChannel(t, 16)
+	lisaInsertNow(l, ch, dram.Location{Row: 1})
+	lisaInsertNow(l, ch, dram.Location{Row: 2})
+	// Touch row 1 so row 2 is LRU; dirty row 2 with a write hit.
+	l.Lookup(dram.Location{Row: 2, Block: 0}, true)
+	l.Lookup(dram.Location{Row: 1, Block: 0}, false)
+	// Third insertion evicts row 2 (LRU) and pays its write-back.
+	plan := lisaInsertNow(l, ch, dram.Location{Row: 3})
+	if plan == nil {
+		t.Fatal("insert returned nil")
+	}
+	if l.Evictions != 1 || l.WriteBacks != 1 {
+		t.Errorf("evictions=%d writebacks=%d, want 1/1", l.Evictions, l.WriteBacks)
+	}
+	if _, hit := l.Lookup(dram.Location{Row: 2, Block: 0}, false); hit {
+		t.Error("evicted row still hits")
+	}
+	if _, hit := l.Lookup(dram.Location{Row: 1, Block: 0}, false); !hit {
+		t.Error("MRU row was evicted")
+	}
+}
+
+func TestLISAHotCounterDecay(t *testing.T) {
+	geo := dram.Default()
+	geo.FastSubarrays = 16
+	cfg := DefaultLISAVillaConfig()
+	cfg.EpochMisses = 4
+	cfg.HotThreshold = 3
+	l, err := NewLISAVilla(cfg, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := dram.Location{Row: 9}
+	l.ShouldInsert(loc) // count 1
+	l.ShouldInsert(loc) // count 2
+	// Fill the epoch with misses to other rows to trigger decay.
+	l.ShouldInsert(dram.Location{Row: 100})
+	l.ShouldInsert(dram.Location{Row: 101}) // decay fires: count 9 -> 1
+	// Two more misses needed to reach the threshold again.
+	if l.ShouldInsert(loc) {
+		t.Error("row considered hot right after decay")
+	}
+	if !l.ShouldInsert(loc) {
+		t.Error("row not hot after re-accumulating misses")
+	}
+}
+
+func TestLISADoubleInsertNoop(t *testing.T) {
+	l, ch := newTestLISA(t)
+	if lisaInsertNow(l, ch, dram.Location{Row: 5}) == nil {
+		t.Fatal("first insert failed")
+	}
+	if lisaInsertNow(l, ch, dram.Location{Row: 5}) != nil {
+		t.Error("duplicate insert returned a plan")
+	}
+}
+
+func TestLISAHitRate(t *testing.T) {
+	l, ch := newTestLISA(t)
+	l.Lookup(dram.Location{Row: 4}, false) // miss
+	lisaInsertNow(l, ch, dram.Location{Row: 4})
+	l.Lookup(dram.Location{Row: 4}, false) // hit
+	if got := l.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// RowIndex maintains per-cache-row aggregates incrementally: the
+// cumulative benefit score of each cache row and a bitvector of its dirty
+// segments. The paper's footnote 2 (Section 5.1) points out that a
+// Dirty-Block-Index-style structure keeps these sums available without
+// scanning the FTS on every replacement decision; this is that structure.
+//
+// The RowBenefit replacement policy needs the row with the minimum
+// cumulative benefit. RowIndex keeps sums exact under the three FTS
+// mutations (benefit increment on hit, install, evict), so the minimum
+// query is a scan over rows (64 per bank) instead of slots (512 per
+// bank), and could be a tournament tree in hardware.
+type RowIndex struct {
+	segsPerRow int
+	sums       []int
+	dirty      []uint64 // per-row bitvector of dirty segment offsets
+}
+
+// NewRowIndex builds an index for rows cache rows of segsPerRow segments.
+func NewRowIndex(rows, segsPerRow int) (*RowIndex, error) {
+	if rows <= 0 || segsPerRow <= 0 {
+		return nil, fmt.Errorf("core: row index dimensions must be positive")
+	}
+	if segsPerRow > 64 {
+		return nil, fmt.Errorf("core: row index supports at most 64 segments per row, got %d", segsPerRow)
+	}
+	return &RowIndex{
+		segsPerRow: segsPerRow,
+		sums:       make([]int, rows),
+		dirty:      make([]uint64, rows),
+	}, nil
+}
+
+// Rows returns the number of cache rows tracked.
+func (ri *RowIndex) Rows() int { return len(ri.sums) }
+
+func (ri *RowIndex) rowOf(slot int) (row, off int) {
+	return slot / ri.segsPerRow, slot % ri.segsPerRow
+}
+
+// OnHit adds the benefit delta of a slot (0 when the counter saturated)
+// and records write hits in the dirty bitvector.
+func (ri *RowIndex) OnHit(slot, benefitDelta int, isWrite bool) {
+	row, off := ri.rowOf(slot)
+	ri.sums[row] += benefitDelta
+	if isWrite {
+		ri.dirty[row] |= 1 << uint(off)
+	}
+}
+
+// OnInstall resets the slot's contribution for a fresh segment (benefit
+// starts at zero, clean).
+func (ri *RowIndex) OnInstall(slot, oldBenefit int, wasDirty bool) {
+	row, off := ri.rowOf(slot)
+	ri.sums[row] -= oldBenefit
+	if wasDirty {
+		ri.dirty[row] &^= 1 << uint(off)
+	}
+}
+
+// OnEvict removes the slot's contribution.
+func (ri *RowIndex) OnEvict(slot, benefit int, wasDirty bool) {
+	ri.OnInstall(slot, benefit, wasDirty)
+}
+
+// Sum returns the cumulative benefit of a cache row.
+func (ri *RowIndex) Sum(row int) int { return ri.sums[row] }
+
+// DirtyMask returns the dirty-segment bitvector of a cache row: the
+// write-back work a row-granularity eviction will trigger.
+func (ri *RowIndex) DirtyMask(row int) uint64 { return ri.dirty[row] }
+
+// MinRow returns the row with the smallest cumulative benefit among rows
+// where eligible returns true, or -1 if none qualifies.
+func (ri *RowIndex) MinRow(eligible func(row int) bool) int {
+	best, bestSum := -1, int(^uint(0)>>1)
+	for row, sum := range ri.sums {
+		if !eligible(row) {
+			continue
+		}
+		if sum < bestSum {
+			best, bestSum = row, sum
+		}
+	}
+	return best
+}
+
+// attachRowIndex wires a RowIndex into an FTS so every mutation updates
+// the aggregates; the FTS calls these hooks internally when an index is
+// attached via SetRowIndex.
+func (f *FTS) SetRowIndex(ri *RowIndex) error {
+	if ri.Rows() != f.CacheRows() || ri.segsPerRow != f.SegsPerRow() {
+		return fmt.Errorf("core: row index %dx%d does not match FTS %dx%d",
+			ri.Rows(), ri.segsPerRow, f.CacheRows(), f.SegsPerRow())
+	}
+	f.rowIndex = ri
+	// Rebuild aggregates from current contents (normally empty).
+	for i := range ri.sums {
+		ri.sums[i] = 0
+		ri.dirty[i] = 0
+	}
+	for slot, e := range f.entries {
+		if e.valid {
+			row, off := ri.rowOf(slot)
+			ri.sums[row] += int(e.benefit)
+			if e.dirty {
+				ri.dirty[row] |= 1 << uint(off)
+			}
+		}
+	}
+	return nil
+}
+
+// RowIndexed reports whether an incremental row index is attached.
+func (f *FTS) RowIndexed() bool { return f.rowIndex != nil }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowIndexBasics(t *testing.T) {
+	ri, err := NewRowIndex(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Rows() != 4 {
+		t.Fatalf("rows = %d", ri.Rows())
+	}
+	ri.OnHit(0, 1, false) // slot 0 -> row 0
+	ri.OnHit(9, 1, true)  // slot 9 -> row 1, dirty
+	ri.OnHit(9, 1, false) // row 1 sum = 2
+	if ri.Sum(0) != 1 || ri.Sum(1) != 2 {
+		t.Errorf("sums = %d,%d, want 1,2", ri.Sum(0), ri.Sum(1))
+	}
+	if ri.DirtyMask(1) != 1<<1 {
+		t.Errorf("dirty mask = %b, want bit 1", ri.DirtyMask(1))
+	}
+	ri.OnEvict(9, 2, true)
+	if ri.Sum(1) != 0 || ri.DirtyMask(1) != 0 {
+		t.Errorf("eviction did not clear: sum=%d dirty=%b", ri.Sum(1), ri.DirtyMask(1))
+	}
+}
+
+func TestRowIndexRejectsBadDims(t *testing.T) {
+	if _, err := NewRowIndex(0, 8); err == nil {
+		t.Error("accepted zero rows")
+	}
+	if _, err := NewRowIndex(4, 65); err == nil {
+		t.Error("accepted >64 segments per row")
+	}
+}
+
+func TestRowIndexMinRow(t *testing.T) {
+	ri, _ := NewRowIndex(3, 4)
+	ri.OnHit(0, 5, false) // row 0 sum 5
+	ri.OnHit(4, 2, false) // row 1 sum 2
+	ri.OnHit(8, 9, false) // row 2 sum 9
+	if got := ri.MinRow(func(int) bool { return true }); got != 1 {
+		t.Errorf("MinRow = %d, want 1", got)
+	}
+	if got := ri.MinRow(func(r int) bool { return r != 1 }); got != 0 {
+		t.Errorf("MinRow excluding 1 = %d, want 0", got)
+	}
+	if got := ri.MinRow(func(int) bool { return false }); got != -1 {
+		t.Errorf("MinRow with nothing eligible = %d, want -1", got)
+	}
+}
+
+func TestSetRowIndexDimensionCheck(t *testing.T) {
+	f, _ := NewFTS(32, 8, 5)
+	ri, _ := NewRowIndex(3, 8) // wrong row count
+	if err := f.SetRowIndex(ri); err == nil {
+		t.Error("accepted mismatched row index")
+	}
+	ri2, _ := NewRowIndex(4, 8)
+	if err := f.SetRowIndex(ri2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.RowIndexed() {
+		t.Error("index not attached")
+	}
+}
+
+func TestSetRowIndexRebuildsFromContents(t *testing.T) {
+	f, _ := NewFTS(16, 8, 5)
+	f.Install(0, 10, 0, true)
+	f.Install(9, 11, 0, false)
+	f.Lookup(11, 0, false)
+	ri, _ := NewRowIndex(2, 8)
+	if err := f.SetRowIndex(ri); err != nil {
+		t.Fatal(err)
+	}
+	if ri.Sum(1) != 1 {
+		t.Errorf("rebuilt sum(1) = %d, want 1", ri.Sum(1))
+	}
+	if ri.DirtyMask(0) != 1 {
+		t.Errorf("rebuilt dirty(0) = %b, want bit 0", ri.DirtyMask(0))
+	}
+}
+
+// Property: under any interleaving of FTS operations, the incremental
+// RowIndex sums equal the naive per-row scans (the equivalence that makes
+// the Dirty-Block-Index optimization legal).
+func TestPropertyRowIndexMatchesNaiveSums(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fts, err := NewFTS(32, 8, 5)
+		if err != nil {
+			return false
+		}
+		ri, _ := NewRowIndex(4, 8)
+		if err := fts.SetRowIndex(ri); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			slot := int(op) % 32
+			row := int(op>>5) % 64
+			switch op % 3 {
+			case 0:
+				fts.Install(slot, row, int(op)%8, op%2 == 0)
+			case 1:
+				fts.Lookup(row, int(op)%8, op%5 == 0)
+			case 2:
+				fts.Evict(slot)
+			}
+			// Invariant: incremental sums match naive recomputation.
+			for r := 0; r < fts.CacheRows(); r++ {
+				if ri.Sum(r) != fts.RowBenefit(r) {
+					t.Logf("row %d: index %d vs naive %d", r, ri.Sum(r), fts.RowBenefit(r))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dirty mask exactly tracks the dirty bits of valid
+// entries.
+func TestPropertyRowIndexDirtyMask(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fts, _ := NewFTS(32, 8, 5)
+		ri, _ := NewRowIndex(4, 8)
+		if err := fts.SetRowIndex(ri); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			slot := int(op) % 32
+			row := int(op>>5) % 64
+			switch op % 3 {
+			case 0:
+				fts.Install(slot, row, int(op)%8, op%2 == 0)
+			case 1:
+				fts.Lookup(row, int(op)%8, op%2 == 1)
+			case 2:
+				fts.Evict(slot)
+			}
+		}
+		for r := 0; r < fts.CacheRows(); r++ {
+			var want uint64
+			for off := 0; off < fts.SegsPerRow(); off++ {
+				e := fts.entry(r*fts.SegsPerRow() + off)
+				if e.valid && e.dirty {
+					want |= 1 << uint(off)
+				}
+			}
+			if ri.DirtyMask(r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

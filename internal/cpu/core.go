@@ -1,0 +1,185 @@
+// Package cpu implements the trace-driven processor core model of the
+// simulated system (Table 1): a simplified out-of-order core with a
+// 256-entry instruction window and 3-wide issue/retire, in the style of
+// Ramulator's attached core model. Non-memory instructions occupy window
+// entries and retire immediately; loads occupy an entry until their data
+// returns from the cache hierarchy; stores retire immediately (modelling
+// a write buffer) but still traverse the hierarchy.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// TraceRecord is one unit of a core's instruction trace: Bubbles
+// non-memory instructions followed by one memory access.
+type TraceRecord struct {
+	Bubbles int    // non-memory instructions preceding the access
+	Addr    uint64 // physical address of the memory access
+	IsWrite bool
+}
+
+// TraceReader supplies an endless instruction trace; generators in
+// internal/workload implement it deterministically.
+type TraceReader interface {
+	Next() TraceRecord
+}
+
+// Config holds the core parameters from Table 1.
+type Config struct {
+	WindowSize  int // reorder/instruction window entries (256)
+	IssueWidth  int // instructions issued per cycle (3)
+	RetireWidth int // instructions retired per cycle (3)
+}
+
+// DefaultConfig returns Table 1's core parameters.
+func DefaultConfig() Config {
+	return Config{WindowSize: 256, IssueWidth: 3, RetireWidth: 3}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.WindowSize <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("cpu: window (%d), issue (%d) and retire (%d) widths must be positive",
+			c.WindowSize, c.IssueWidth, c.RetireWidth)
+	}
+	return nil
+}
+
+// Core is one simulated core.
+type Core struct {
+	ID  int
+	cfg Config
+
+	trace TraceReader
+	l1    *cache.Cache
+
+	// Instruction window: a ring buffer of completion flags. done[i]
+	// marks the entry ready to retire. epoch[i] disambiguates reuse of a
+	// slot, so a late load completion cannot mark a newer instruction
+	// done after its own entry retired.
+	done  []bool
+	epoch []int64
+	head  int
+	tail  int
+	count int
+
+	pending    TraceRecord
+	hasPending bool
+
+	// Progress.
+	Retired int64
+	// TargetInsts, when reached, records FinishedAt once; the core keeps
+	// running (its trace continues) so it still exerts memory pressure on
+	// co-running cores, per the multiprogrammed-evaluation methodology.
+	TargetInsts int64
+	FinishedAt  int64 // cycle Retired first reached TargetInsts; 0 if not yet
+
+	// Stats.
+	LoadStalls int64 // cycles issue stopped because L1 refused (MSHRs full)
+	WindowFull int64 // cycles issue stopped on a full window
+}
+
+// New builds a core reading trace and accessing the hierarchy through l1.
+func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trace == nil || l1 == nil {
+		return nil, fmt.Errorf("cpu: trace and l1 must be non-nil")
+	}
+	return &Core{
+		ID:          id,
+		cfg:         cfg,
+		trace:       trace,
+		l1:          l1,
+		done:        make([]bool, cfg.WindowSize),
+		epoch:       make([]int64, cfg.WindowSize),
+		TargetInsts: targetInsts,
+	}, nil
+}
+
+// Done reports whether the core has retired its target instruction count.
+func (c *Core) Done() bool { return c.FinishedAt > 0 }
+
+// IPC returns instructions per cycle at the point the target was reached,
+// or the running IPC at cycle now if the target is not yet reached.
+func (c *Core) IPC(now int64) float64 {
+	cycles := c.FinishedAt
+	insts := c.TargetInsts
+	if cycles == 0 {
+		cycles, insts = now, c.Retired
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles)
+}
+
+// Tick advances the core one CPU cycle: retire from the window head, then
+// issue new instructions into the tail.
+func (c *Core) Tick(now int64) {
+	// Retire.
+	for r := 0; r < c.cfg.RetireWidth && c.count > 0 && c.done[c.head]; r++ {
+		c.done[c.head] = false
+		c.head = (c.head + 1) % c.cfg.WindowSize
+		c.count--
+		c.Retired++
+		if c.FinishedAt == 0 && c.Retired >= c.TargetInsts {
+			c.FinishedAt = now
+		}
+	}
+
+	// Issue.
+	for i := 0; i < c.cfg.IssueWidth; i++ {
+		if c.count >= c.cfg.WindowSize {
+			c.WindowFull++
+			return
+		}
+		if !c.hasPending {
+			c.pending = c.trace.Next()
+			c.hasPending = true
+		}
+		if c.pending.Bubbles > 0 {
+			c.pending.Bubbles--
+			c.insert(true)
+			continue
+		}
+		// The memory access of the pending record.
+		if c.pending.IsWrite {
+			// Stores retire immediately; the write continues through the
+			// hierarchy in the background.
+			if !c.l1.Access(c.pending.Addr, true, nil) {
+				c.LoadStalls++
+				return // retry next cycle
+			}
+			c.insert(true)
+		} else {
+			slot, ep := c.tail, c.epoch[c.tail]+1
+			ok := c.l1.Access(c.pending.Addr, false, func(int64) {
+				if c.epoch[slot] == ep {
+					c.done[slot] = true
+				}
+			})
+			if !ok {
+				c.LoadStalls++
+				return
+			}
+			c.insert(false)
+		}
+		c.hasPending = false
+	}
+}
+
+// insert places one instruction at the window tail.
+func (c *Core) insert(done bool) {
+	c.done[c.tail] = done
+	c.epoch[c.tail]++
+	c.tail = (c.tail + 1) % c.cfg.WindowSize
+	c.count++
+}
+
+// WindowOccupancy returns the number of in-flight window entries.
+func (c *Core) WindowOccupancy() int { return c.count }

@@ -1,0 +1,241 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// sched is a minimal event scheduler shared by the test fixtures.
+type sched struct {
+	now    int64
+	events []struct {
+		at int64
+		fn func(int64)
+	}
+}
+
+func (s *sched) After(delay int64, fn func(int64)) {
+	s.events = append(s.events, struct {
+		at int64
+		fn func(int64)
+	}{s.now + delay, fn})
+}
+
+func (s *sched) fire() {
+	for i := 0; i < len(s.events); {
+		if s.events[i].at <= s.now {
+			fn := s.events[i].fn
+			s.events = append(s.events[:i], s.events[i+1:]...)
+			fn(s.now)
+		} else {
+			i++
+		}
+	}
+}
+
+// fixedMem completes every fetch after a fixed delay.
+type fixedMem struct {
+	s       *sched
+	latency int64
+	reqs    int
+}
+
+func (m *fixedMem) Request(addr uint64, isWrite bool, coreID int, onDone func(int64)) {
+	m.reqs++
+	if onDone == nil {
+		return
+	}
+	m.s.After(m.latency, onDone)
+}
+
+// sliceTrace replays a fixed set of records, looping forever.
+type sliceTrace struct {
+	recs []TraceRecord
+	pos  int
+}
+
+func (t *sliceTrace) Next() TraceRecord {
+	r := t.recs[t.pos%len(t.recs)]
+	t.pos++
+	return r
+}
+
+func newCore(t *testing.T, recs []TraceRecord, memLatency int64, target int64) (*Core, *sched, *fixedMem) {
+	t.Helper()
+	s := &sched{}
+	m := &fixedMem{s: s, latency: memLatency}
+	l1, err := cache.New(cache.Config{
+		Name: "L1", SizeBytes: 64 << 10, Ways: 4, BlockBytes: 64, Latency: 4, MSHRs: 8,
+	}, m, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(0, DefaultConfig(), &sliceTrace{recs: recs}, l1, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s, m
+}
+
+// run ticks the core until it reaches its target or limit cycles pass.
+func run(c *Core, s *sched, limit int64) int64 {
+	for ; s.now < limit; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+		if c.Done() {
+			return s.now
+		}
+	}
+	return limit
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.WindowSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero window")
+	}
+}
+
+func TestPureComputeRetiresAtIssueWidth(t *testing.T) {
+	// All bubbles: the core should retire ~3 IPC.
+	c, s, _ := newCore(t, []TraceRecord{{Bubbles: 1 << 20}}, 10, 3000)
+	end := run(c, s, 100000)
+	if !c.Done() {
+		t.Fatal("core never finished")
+	}
+	ipc := c.IPC(end)
+	if ipc < 2.5 || ipc > 3.0 {
+		t.Errorf("compute-bound IPC = %.2f, want ~3", ipc)
+	}
+}
+
+func TestMemoryLatencyLimitsIPC(t *testing.T) {
+	// A dependent-load-like trace: one load per record with few bubbles
+	// and distinct addresses so every load misses L1. Higher memory
+	// latency must reduce IPC.
+	mkTrace := func() []TraceRecord {
+		recs := make([]TraceRecord, 4096)
+		for i := range recs {
+			recs[i] = TraceRecord{Bubbles: 2, Addr: uint64(i) * 64 * 1024}
+		}
+		return recs
+	}
+	cFast, sFast, _ := newCore(t, mkTrace(), 20, 3000)
+	endFast := run(cFast, sFast, 1000000)
+	cSlow, sSlow, _ := newCore(t, mkTrace(), 200, 3000)
+	endSlow := run(cSlow, sSlow, 1000000)
+	if !cFast.Done() || !cSlow.Done() {
+		t.Fatal("cores never finished")
+	}
+	if cSlow.IPC(endSlow) >= cFast.IPC(endFast) {
+		t.Errorf("IPC with 200-cycle memory (%.3f) not lower than with 20-cycle (%.3f)",
+			cSlow.IPC(endSlow), cFast.IPC(endFast))
+	}
+}
+
+func TestWindowToleratesLatencyViaMLP(t *testing.T) {
+	// Independent loads (no dependencies in this model) should overlap:
+	// with 8 MSHRs the core sustains much better throughput than serial
+	// loads would allow.
+	recs := make([]TraceRecord, 4096)
+	for i := range recs {
+		recs[i] = TraceRecord{Bubbles: 30, Addr: uint64(i) * 64 * 1024}
+	}
+	c, s, _ := newCore(t, recs, 100, 30000)
+	end := run(c, s, 3000000)
+	if !c.Done() {
+		t.Fatal("core never finished")
+	}
+	// Serial execution would give IPC ~= 31/ (100+30/3) ~ 0.24; MLP should
+	// beat 0.5 comfortably.
+	if ipc := c.IPC(end); ipc < 0.5 {
+		t.Errorf("IPC = %.3f, want > 0.5 with memory-level parallelism", ipc)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	// Stores that hit in L1 (small working set) retire immediately and
+	// never wait on memory, so IPC stays near the issue width even with a
+	// 500-cycle memory latency.
+	recs := make([]TraceRecord, 64)
+	for i := range recs {
+		recs[i] = TraceRecord{Bubbles: 1, Addr: uint64(i%4) * 64, IsWrite: true}
+	}
+	c, s, _ := newCore(t, recs, 500, 2000)
+	end := run(c, s, 500000)
+	if !c.Done() {
+		t.Fatal("store-heavy core never finished")
+	}
+	if ipc := c.IPC(end); ipc < 1.5 {
+		t.Errorf("store-hit IPC = %.3f, want >= 1.5", ipc)
+	}
+}
+
+func TestStoreMissesThrottleOnMSHRs(t *testing.T) {
+	// Store misses write-allocate and consume MSHRs, so a stream of
+	// distinct-address stores is bounded by memory bandwidth — but it must
+	// still make forward progress.
+	recs := make([]TraceRecord, 1024)
+	for i := range recs {
+		recs[i] = TraceRecord{Bubbles: 1, Addr: uint64(i) * 64 * 1024, IsWrite: true}
+	}
+	c, s, _ := newCore(t, recs, 100, 2000)
+	run(c, s, 1000000)
+	if !c.Done() {
+		t.Fatal("store-miss core never finished")
+	}
+	if c.LoadStalls == 0 {
+		t.Error("expected MSHR-full stalls for distinct-address stores")
+	}
+}
+
+func TestFinishedAtRecordedOnce(t *testing.T) {
+	c, s, _ := newCore(t, []TraceRecord{{Bubbles: 100}}, 10, 300)
+	run(c, s, 10000)
+	first := c.FinishedAt
+	if first == 0 {
+		t.Fatal("FinishedAt not set")
+	}
+	// Keep running; FinishedAt must not move.
+	for ; s.now < first+500; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+	}
+	if c.FinishedAt != first {
+		t.Errorf("FinishedAt moved from %d to %d", first, c.FinishedAt)
+	}
+	if c.Retired <= c.TargetInsts {
+		t.Error("core stopped retiring after reaching its target")
+	}
+}
+
+func TestMSHRExhaustionStallsIssue(t *testing.T) {
+	// Loads to distinct blocks with zero bubbles and huge latency: after 8
+	// outstanding misses the core must stall.
+	recs := make([]TraceRecord, 64)
+	for i := range recs {
+		recs[i] = TraceRecord{Addr: uint64(i) * 64 * 1024}
+	}
+	c, s, _ := newCore(t, recs, 100000, 1<<40)
+	for ; s.now < 200; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+	}
+	if c.LoadStalls == 0 {
+		t.Error("no load stalls despite MSHR exhaustion")
+	}
+	if got := c.WindowOccupancy(); got > DefaultConfig().WindowSize {
+		t.Errorf("window occupancy %d exceeds size", got)
+	}
+}
+
+func TestNewRejectsNilDeps(t *testing.T) {
+	if _, err := New(0, DefaultConfig(), nil, nil, 10); err == nil {
+		t.Error("accepted nil trace and l1")
+	}
+}

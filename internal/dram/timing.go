@@ -1,0 +1,154 @@
+package dram
+
+import "fmt"
+
+// Timing holds the DRAM timing constraints in bus clock cycles (nCK).
+// The names follow the JEDEC DDR4 standard. Only the parameters that
+// influence command scheduling in this model are included.
+type Timing struct {
+	// Clock returns the bus clock period in nanoseconds (1.25 for
+	// DDR4-1600). It converts between cycles and wall-clock time for
+	// latency/energy reporting.
+	ClockNS float64
+
+	RCD  int // ACTIVATE to internal READ/WRITE delay
+	RP   int // PRECHARGE to ACTIVATE delay
+	RAS  int // ACTIVATE to PRECHARGE delay
+	RC   int // ACTIVATE to ACTIVATE delay (same bank)
+	CL   int // READ command to first data
+	CWL  int // WRITE command to first data
+	BL   int // burst length on the data bus in cycles (8 beats, DDR => 4)
+	CCDS int // column-to-column, different bank group
+	CCDL int // column-to-column, same bank group
+	RRDS int // ACT-to-ACT, different bank group
+	RRDL int // ACT-to-ACT, same bank group
+	FAW  int // four-activate window per rank
+	WR   int // write recovery: end of write data to PRECHARGE
+	WTRS int // end of write data to READ, different bank group
+	WTRL int // end of write data to READ, same bank group
+	RTP  int // READ to PRECHARGE
+	RTW  int // READ command to WRITE command turnaround
+	REFI int // average refresh interval
+	RFC  int // refresh cycle time
+
+	// RELOC is the latency of one FIGARO column relocation through the
+	// global row buffer. The paper's SPICE analysis gives 0.57 ns,
+	// guard-banded to 1 ns, which rounds to one bus cycle at DDR4-1600.
+	// The latency is independent of the distance between the source and
+	// destination subarrays (Section 4.1).
+	RELOC int
+
+	// RBMHop is the LISA row-buffer-movement latency for relocating one
+	// full row between two adjacent subarrays. Unlike RELOC, LISA's
+	// relocation latency grows with the physical hop distance between the
+	// source subarray and the nearest fast subarray (Section 3).
+	RBMHop int
+}
+
+// DDR4 returns DDR4-1600-class timings (800 MHz bus clock) used throughout
+// the paper's evaluation.
+func DDR4() Timing {
+	return Timing{
+		ClockNS: 1.25,
+		RCD:     11, // 13.75 ns
+		RP:      11,
+		RAS:     28, // 35 ns
+		RC:      39,
+		CL:      11,
+		CWL:     9,
+		BL:      4,
+		CCDS:    4,
+		CCDL:    5,
+		RRDS:    4,
+		RRDL:    5,
+		FAW:     20,
+		WR:      12, // 15 ns
+		WTRS:    2,
+		WTRL:    6,
+		RTP:     6,
+		RTW:     7, // CL - CWL + BL + 1 bus turnaround
+		REFI:    6240,
+		RFC:     208, // 260 ns
+		RELOC:   1,   // 1 ns guard-banded FIGARO relocation
+		RBMHop:  7,   // ~8.75 ns per LISA inter-subarray hop
+	}
+}
+
+// FastScale are the multiplicative latency reductions a short-bitline fast
+// subarray provides, from the LISA-VILLA SPICE model the paper reuses:
+// tRCD -45.5%, tRP -38.2%, tRAS -62.9%.
+type FastScale struct {
+	RCD, RP, RAS float64
+}
+
+// PaperFastScale returns the reductions reported in Table 1.
+func PaperFastScale() FastScale {
+	return FastScale{RCD: 0.455, RP: 0.382, RAS: 0.629}
+}
+
+// Fast returns a copy of t with activation, precharge and restoration
+// latencies reduced per s, as for rows held in a fast subarray. Derived
+// parameters (tRC) are recomputed. Latencies never drop below one cycle.
+func (t Timing) Fast(s FastScale) Timing {
+	f := t
+	f.RCD = scaleDown(t.RCD, s.RCD)
+	f.RP = scaleDown(t.RP, s.RP)
+	f.RAS = scaleDown(t.RAS, s.RAS)
+	f.RC = f.RAS + f.RP
+	return f
+}
+
+func scaleDown(v int, reduction float64) int {
+	scaled := int(float64(v)*(1-reduction) + 0.5)
+	if scaled < 1 {
+		return 1
+	}
+	return scaled
+}
+
+// NS converts a cycle count to nanoseconds.
+func (t Timing) NS(cycles int64) float64 { return float64(cycles) * t.ClockNS }
+
+// Cycles converts nanoseconds to a cycle count, rounding up.
+func (t Timing) Cycles(ns float64) int {
+	c := int(ns / t.ClockNS)
+	if float64(c)*t.ClockNS < ns {
+		c++
+	}
+	return c
+}
+
+// ReadLatency returns the cycles from issuing READ to the last data beat.
+func (t Timing) ReadLatency() int { return t.CL + t.BL }
+
+// WriteLatency returns the cycles from issuing WRITE to the last data beat.
+func (t Timing) WriteLatency() int { return t.CWL + t.BL }
+
+// Validate reports an error if any constraint is non-positive or
+// internally inconsistent.
+func (t Timing) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"tRCD", t.RCD}, {"tRP", t.RP}, {"tRAS", t.RAS}, {"tRC", t.RC},
+		{"tCL", t.CL}, {"tCWL", t.CWL}, {"tBL", t.BL},
+		{"tCCD_S", t.CCDS}, {"tCCD_L", t.CCDL},
+		{"tRRD_S", t.RRDS}, {"tRRD_L", t.RRDL}, {"tFAW", t.FAW},
+		{"tWR", t.WR}, {"tWTR_S", t.WTRS}, {"tWTR_L", t.WTRL},
+		{"tRTP", t.RTP}, {"tRTW", t.RTW}, {"tREFI", t.REFI}, {"tRFC", t.RFC},
+		{"tRELOC", t.RELOC}, {"tRBM", t.RBMHop},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if t.RC < t.RAS+t.RP {
+		return fmt.Errorf("dram: tRC (%d) < tRAS+tRP (%d)", t.RC, t.RAS+t.RP)
+	}
+	if t.ClockNS <= 0 {
+		return fmt.Errorf("dram: clock period must be positive, got %g", t.ClockNS)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package dram
+
+import "fmt"
+
+// Violation describes one timing-constraint violation found in a command
+// trace.
+type Violation struct {
+	Constraint string
+	At         int64 // issue cycle of the violating command
+	Prev       int64 // issue cycle of the earlier command it conflicts with
+	Cmd        Command
+	Detail     string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s violated (prev at %d): %s %v",
+		v.At, v.Constraint, v.Prev, v.Detail, v.Cmd)
+}
+
+// ValidateTrace replays a recorded command trace against the JEDEC timing
+// constraints and protocol rules, independently of the issue-time checks
+// the Channel performs. It is the simulator's safety net: any scheduling
+// bug that sneaks a command past CanIssue is caught here.
+//
+// Checked rules:
+//
+//	ACT:  bank precharged; tRC since previous ACT (same bank); tRP since
+//	      PRE; tRRD since any ACT in the rank; tFAW over any five ACTs;
+//	      tRFC since REF.
+//	PRE:  bank open; tRAS since ACT; tRTP since RD; tWR after WR data.
+//	RD:   row open and matching; tRCD since ACT; tCCD since previous
+//	      column command; tWTR after WR data.
+//	WR:   row open and matching; tRCD since ACT; tCCD; tRTW after RD.
+//	REF:  all banks in the rank precharged; tRP since every PRE.
+//
+// Relocation occupancy (RELOC/RBM) is applied by the Channel outside the
+// command stream, so traces containing relocations validate the explicit
+// commands only.
+func ValidateTrace(geo Geometry, slow, fast Timing, allFast bool, trace []CommandTrace) []Violation {
+	type bankState struct {
+		openRow     int
+		openCache   bool
+		lastACT     int64
+		lastPRE     int64
+		lastPREFast bool  // the precharged row's timing class
+		lastRDEnd   int64 // last read data end (for tWTR source symmetry)
+		lastRD      int64
+		lastWREnd   int64
+		openIsFast  bool
+	}
+	nBanks := geo.Ranks * geo.BanksPerRank()
+	banks := make([]bankState, nBanks)
+	for i := range banks {
+		banks[i].openRow = -1
+		banks[i].lastACT = -1 << 40
+		banks[i].lastPRE = -1 << 40
+		banks[i].lastWREnd = -1 << 40
+		banks[i].lastRD = -1 << 40
+	}
+	rankACTs := make([][]int64, geo.Ranks)
+	lastREF := make([]int64, geo.Ranks)
+	for r := range lastREF {
+		lastREF[r] = -1 << 40
+	}
+	var lastCol struct {
+		at, end int64
+		kind    CmdType
+		valid   bool
+	}
+
+	timingFor := func(cache bool) Timing {
+		if allFast || (cache && geo.FastSubarrays > 0) {
+			return fast
+		}
+		return slow
+	}
+
+	var out []Violation
+	add := func(constraint string, at, prev int64, cmd Command, detail string) {
+		out = append(out, Violation{Constraint: constraint, At: at, Prev: prev, Cmd: cmd, Detail: detail})
+	}
+
+	for _, tr := range trace {
+		cmd, at := tr.Cmd, tr.At
+		id := cmd.Loc.BankID(geo)
+		b := &banks[id]
+		t := timingFor(cmd.Loc.CacheRow)
+		switch cmd.Type {
+		case CmdACT:
+			if b.openRow != -1 {
+				add("bank-closed", at, b.lastACT, cmd, "ACT on open bank")
+			}
+			openT := timingFor(b.openIsFast)
+			if at-b.lastACT < int64(openT.RC) && at-b.lastACT < int64(t.RC) {
+				// Use the more permissive of the two timing classes: the
+				// channel applies the class of each command's own row.
+				add("tRC", at, b.lastACT, cmd, fmt.Sprintf("%d < tRC", at-b.lastACT))
+			}
+			if at-b.lastPRE < int64(minInt(openT.RP, t.RP)) {
+				add("tRP", at, b.lastPRE, cmd, fmt.Sprintf("%d < tRP", at-b.lastPRE))
+			}
+			if at-lastREF[cmd.Loc.Rank] < int64(slow.RFC) {
+				add("tRFC", at, lastREF[cmd.Loc.Rank], cmd, "ACT during refresh")
+			}
+			hist := rankACTs[cmd.Loc.Rank]
+			if n := len(hist); n > 0 && at-hist[n-1] < int64(slow.RRDS) {
+				add("tRRD", at, hist[n-1], cmd, fmt.Sprintf("%d < tRRD_S", at-hist[n-1]))
+			}
+			if n := len(hist); n >= 4 && at-hist[n-4] < int64(slow.FAW) {
+				add("tFAW", at, hist[n-4], cmd, fmt.Sprintf("five ACTs in %d", at-hist[n-4]))
+			}
+			rankACTs[cmd.Loc.Rank] = append(hist, at)
+			b.openRow = cmd.Loc.Row
+			b.openCache = cmd.Loc.CacheRow
+			b.openIsFast = allFast || (cmd.Loc.CacheRow && geo.FastSubarrays > 0)
+			b.lastACT = at
+		case CmdPRE:
+			if b.openRow == -1 {
+				add("bank-open", at, b.lastPRE, cmd, "PRE on closed bank")
+				continue
+			}
+			openT := timingFor(b.openIsFast)
+			if at-b.lastACT < int64(openT.RAS) {
+				add("tRAS", at, b.lastACT, cmd, fmt.Sprintf("%d < tRAS", at-b.lastACT))
+			}
+			if at-b.lastRD < int64(openT.RTP) {
+				add("tRTP", at, b.lastRD, cmd, fmt.Sprintf("%d < tRTP", at-b.lastRD))
+			}
+			if at-b.lastWREnd < int64(openT.WR) {
+				add("tWR", at, b.lastWREnd, cmd, fmt.Sprintf("%d < tWR after WR data", at-b.lastWREnd))
+			}
+			b.openRow = -1
+			b.lastPRE = at
+			b.lastPREFast = b.openIsFast
+		case CmdRD, CmdWR:
+			if b.openRow != cmd.Loc.Row || b.openCache != cmd.Loc.CacheRow {
+				add("row-open", at, b.lastACT, cmd,
+					fmt.Sprintf("column access to row %d but open row is %d", cmd.Loc.Row, b.openRow))
+			}
+			openT := timingFor(b.openIsFast)
+			if at-b.lastACT < int64(openT.RCD) {
+				add("tRCD", at, b.lastACT, cmd, fmt.Sprintf("%d < tRCD", at-b.lastACT))
+			}
+			if lastCol.valid {
+				if at-lastCol.at < int64(slow.CCDS) {
+					add("tCCD", at, lastCol.at, cmd, fmt.Sprintf("%d < tCCD_S", at-lastCol.at))
+				}
+				if lastCol.kind == CmdWR && cmd.Type == CmdRD && at-lastCol.end < int64(slow.WTRS) {
+					add("tWTR", at, lastCol.end, cmd, fmt.Sprintf("%d < tWTR_S after WR data", at-lastCol.end))
+				}
+				if lastCol.kind == CmdRD && cmd.Type == CmdWR && at-lastCol.end < int64(slow.RTW) {
+					add("tRTW", at, lastCol.end, cmd, fmt.Sprintf("%d < tRTW after RD data", at-lastCol.end))
+				}
+			}
+			end := at + int64(openT.ReadLatency())
+			if cmd.Type == CmdWR {
+				end = at + int64(openT.WriteLatency())
+				b.lastWREnd = end
+			} else {
+				b.lastRD = at
+				b.lastRDEnd = end
+			}
+			lastCol.at, lastCol.end, lastCol.kind, lastCol.valid = at, end, cmd.Type, true
+		case CmdREF:
+			base := cmd.Loc.Rank * geo.BanksPerRank()
+			for i := 0; i < geo.BanksPerRank(); i++ {
+				if banks[base+i].openRow != -1 {
+					add("all-precharged", at, banks[base+i].lastACT, cmd,
+						fmt.Sprintf("REF with bank %d open", i))
+				}
+				if at-banks[base+i].lastPRE < int64(timingFor(banks[base+i].lastPREFast).RP) {
+					add("tRP-before-REF", at, banks[base+i].lastPRE, cmd, "REF before precharge settled")
+				}
+			}
+			lastREF[cmd.Loc.Rank] = at
+		case CmdRELOC, CmdRBM:
+			// In-DRAM relocation burst: the bank is owned until tr.End and
+			// ends precharged. Rebase the bank state so subsequent
+			// commands are validated against the occupancy end.
+			end := tr.End
+			if end < at {
+				end = at
+			}
+			b.openRow = -1
+			b.lastPRE = end - int64(t.RP)
+			b.lastACT = end - int64(t.RC)
+			b.lastRD = end - int64(t.RTP)
+			b.lastWREnd = end - int64(t.WR)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

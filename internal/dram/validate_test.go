@@ -1,0 +1,152 @@
+package dram
+
+import "testing"
+
+func validateArgs(t *testing.T, ch *Channel) []Violation {
+	t.Helper()
+	return ValidateTrace(ch.Geo, ch.Slow, ch.Fast, false, ch.Trace)
+}
+
+func TestValidateCleanSequence(t *testing.T) {
+	ch := testChannel(t, 0, false)
+	ch.TraceOn = true
+	loc := Location{Row: 10}
+	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
+	rd, _ := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
+	ch.Issue(Command{Type: CmdRD, Loc: loc}, rd)
+	pre, _ := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, rd)
+	ch.Issue(Command{Type: CmdPRE, Loc: loc}, pre)
+	if vs := validateArgs(t, ch); len(vs) != 0 {
+		t.Fatalf("clean sequence flagged: %v", vs)
+	}
+}
+
+func TestValidateCatchesEarlyRead(t *testing.T) {
+	trace := []CommandTrace{
+		{At: 0, Cmd: Command{Type: CmdACT, Loc: Location{Row: 5}}},
+		{At: 3, Cmd: Command{Type: CmdRD, Loc: Location{Row: 5}}}, // < tRCD
+	}
+	slow := DDR4()
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	if len(vs) == 0 {
+		t.Fatal("tRCD violation not caught")
+	}
+	if vs[0].Constraint != "tRCD" {
+		t.Errorf("constraint = %s, want tRCD", vs[0].Constraint)
+	}
+}
+
+func TestValidateCatchesEarlyPrecharge(t *testing.T) {
+	trace := []CommandTrace{
+		{At: 0, Cmd: Command{Type: CmdACT, Loc: Location{Row: 5}}},
+		{At: 10, Cmd: Command{Type: CmdPRE, Loc: Location{Row: 5}}}, // < tRAS (28)
+	}
+	slow := DDR4()
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "tRAS" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tRAS violation not caught: %v", vs)
+	}
+}
+
+func TestValidateCatchesWrongRowColumn(t *testing.T) {
+	slow := DDR4()
+	trace := []CommandTrace{
+		{At: 0, Cmd: Command{Type: CmdACT, Loc: Location{Row: 5}}},
+		{At: int64(slow.RCD), Cmd: Command{Type: CmdRD, Loc: Location{Row: 6}}},
+	}
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "row-open" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("row-open violation not caught: %v", vs)
+	}
+}
+
+func TestValidateCatchesActOnOpenBank(t *testing.T) {
+	slow := DDR4()
+	trace := []CommandTrace{
+		{At: 0, Cmd: Command{Type: CmdACT, Loc: Location{Row: 5}}},
+		{At: 100, Cmd: Command{Type: CmdACT, Loc: Location{Row: 6}}},
+	}
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "bank-closed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double activation not caught: %v", vs)
+	}
+}
+
+func TestValidateCatchesRefWithOpenBank(t *testing.T) {
+	slow := DDR4()
+	trace := []CommandTrace{
+		{At: 0, Cmd: Command{Type: CmdACT, Loc: Location{Row: 5}}},
+		{At: 100, Cmd: Command{Type: CmdREF, Loc: Location{Rank: 0}}},
+	}
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "all-precharged" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("REF-with-open-bank not caught: %v", vs)
+	}
+}
+
+func TestValidateCatchesFAW(t *testing.T) {
+	slow := DDR4()
+	var trace []CommandTrace
+	// Five ACTs to five banks, 4 cycles apart: satisfies tRRD_S but
+	// violates tFAW (20).
+	for i := 0; i < 5; i++ {
+		trace = append(trace, CommandTrace{
+			At:  int64(i * 4),
+			Cmd: Command{Type: CmdACT, Loc: Location{Group: i % 4, Bank: i / 4, Row: 1}},
+		})
+	}
+	vs := ValidateTrace(Default(), slow, slow.Fast(PaperFastScale()), false, trace)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "tFAW" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tFAW violation not caught: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Constraint: "tRCD", At: 10, Prev: 5,
+		Cmd: Command{Type: CmdRD, Loc: Location{Row: 3}}, Detail: "too early"}
+	s := v.String()
+	for _, want := range []string{"tRCD", "cycle 10", "too early"} {
+		if !contains(s, want) {
+			t.Errorf("violation string missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 7-9): it runs the required simulation matrix with a
+// worker pool, caches results shared between figures, and renders the
+// same rows and series the paper reports. cmd/figbench drives it at full
+// scale; bench_test.go drives scaled-down versions.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scale controls the cost of the experiment matrix.
+type Scale struct {
+	// Insts is the per-core retire target of each run.
+	Insts int64
+	// SingleApps limits the number of single-core applications (max 20).
+	SingleApps int
+	// MixesPerCategory limits the eight-core mixes per memory-intensity
+	// category (max 5).
+	MixesPerCategory int
+	// MCIterations is the Monte-Carlo iteration count for the circuit
+	// model (the paper uses 1e8; 1e4 reproduces the worst case closely).
+	MCIterations int
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// QuickScale returns a minutes-scale matrix for tests and benches.
+func QuickScale() Scale {
+	return Scale{Insts: 60_000, SingleApps: 4, MixesPerCategory: 1, MCIterations: 500}
+}
+
+// DefaultScale is the figbench default: every workload at a laptop-scale
+// instruction budget.
+func DefaultScale() Scale {
+	return Scale{Insts: 400_000, SingleApps: 20, MixesPerCategory: 5, MCIterations: 10_000}
+}
+
+// Runner executes and caches simulation runs.
+type Runner struct {
+	scale Scale
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a runner for the scale.
+func NewRunner(scale Scale) *Runner {
+	if scale.Parallelism <= 0 {
+		scale.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if scale.SingleApps <= 0 || scale.SingleApps > 20 {
+		scale.SingleApps = 20
+	}
+	if scale.MixesPerCategory <= 0 || scale.MixesPerCategory > 5 {
+		scale.MixesPerCategory = 5
+	}
+	return &Runner{scale: scale, cache: make(map[string]sim.Result)}
+}
+
+// Scale returns the runner's scale.
+func (r *Runner) Scale() Scale { return r.scale }
+
+// job is one simulation to run.
+type job struct {
+	key string
+	cfg sim.Config
+}
+
+// runAll executes jobs in parallel (deduplicated against the cache) and
+// returns results by key.
+func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
+	out := make(map[string]sim.Result, len(jobs))
+	var todo []job
+	r.mu.Lock()
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		if res, ok := r.cache[j.key]; ok {
+			out[j.key] = res
+		} else if !seen[j.key] {
+			seen[j.key] = true
+			todo = append(todo, j)
+		}
+	}
+	r.mu.Unlock()
+
+	if len(todo) > 0 {
+		sem := make(chan struct{}, r.scale.Parallelism)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for _, j := range todo {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				system, err := sim.New(j.cfg)
+				var res sim.Result
+				if err == nil {
+					res, err = system.Run()
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", j.key, err)
+					}
+					return
+				}
+				out[j.key] = res
+			}(j)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		r.mu.Lock()
+		for _, j := range todo {
+			if res, ok := out[j.key]; ok {
+				r.cache[j.key] = res
+			}
+		}
+		r.mu.Unlock()
+	}
+	return out, nil
+}
+
+// keyFor builds a cache key from the run's distinguishing parameters.
+func keyFor(p sim.Preset, mix string, insts int64, extra string) string {
+	return fmt.Sprintf("%v|%s|%d|%s", p, mix, insts, extra)
+}
+
+// baseConfig builds the standard run configuration.
+func (r *Runner) baseConfig(p sim.Preset, mix workload.Mix) sim.Config {
+	cfg := sim.DefaultConfig(p, mix)
+	cfg.TargetInsts = r.scale.Insts
+	return cfg
+}
+
+// singleWorkloads returns the configured subset of single-core workloads,
+// keeping the intensive/non-intensive balance.
+func (r *Runner) singleWorkloads() []workload.Mix {
+	all := workload.SingleCoreWorkloads()
+	if r.scale.SingleApps >= len(all) {
+		return all
+	}
+	// Alternate between non-intensive (first half of Benchmarks) and
+	// intensive so small subsets stay balanced.
+	var intensive, non []workload.Mix
+	for _, m := range all {
+		if m.Apps[0].MemIntensive {
+			intensive = append(intensive, m)
+		} else {
+			non = append(non, m)
+		}
+	}
+	var out []workload.Mix
+	for i := 0; len(out) < r.scale.SingleApps; i++ {
+		if i < len(intensive) {
+			out = append(out, intensive[i])
+		}
+		if len(out) < r.scale.SingleApps && i < len(non) {
+			out = append(out, non[i])
+		}
+		if i >= len(intensive) && i >= len(non) {
+			break
+		}
+	}
+	return out
+}
+
+// eightCoreMixes returns the configured subset of eight-core mixes.
+func (r *Runner) eightCoreMixes() []workload.Mix {
+	var out []workload.Mix
+	for _, pct := range []int{25, 50, 75, 100} {
+		cat := workload.MixesByCategory(workload.EightCoreMixes(), pct)
+		if len(cat) > r.scale.MixesPerCategory {
+			cat = cat[:r.scale.MixesPerCategory]
+		}
+		out = append(out, cat...)
+	}
+	return out
+}
+
+// figCfgString encodes a FIGCache override compactly for cache keys.
+func figCfgString(c *core.FIGCacheConfig, fastSubarrays int) string {
+	if c == nil {
+		return fmt.Sprintf("fs%d", fastSubarrays)
+	}
+	return fmt.Sprintf("fs%d-seg%d-rows%d-repl%d-thr%d",
+		fastSubarrays, c.SegmentBlocks, c.CacheRowsPerBank, int(c.Replacement), c.InsertThreshold)
+}

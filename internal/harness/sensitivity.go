@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// sweepTable runs FIGCache-Fast variants over the eight-core mixes (plus
+// single-core groups) and tabulates mean weighted speedup over Base per
+// category — the structure shared by Figures 12-15.
+func (r *Runner) sweepTable(title, note string, variants []sweepVariant) (*stats.Table, error) {
+	singles := r.singleWorkloads()
+	eights := r.eightCoreMixes()
+	mixes := append(append([]workload.Mix{}, singles...), eights...)
+
+	var jobs []job
+	for _, mix := range mixes {
+		base := r.baseConfig(sim.Base, mix)
+		jobs = append(jobs, job{key: keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2"), cfg: base})
+		for _, v := range variants {
+			cfg := r.baseConfig(v.preset, mix)
+			cfg.FIG = v.fig
+			cfg.FastSubarrays = v.fastSubarrays
+			jobs = append(jobs, job{
+				key: keyFor(v.preset, mix.Name, r.scale.Insts, figCfgString(v.fig, v.fastSubarrays)),
+				cfg: cfg,
+			})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	t := &stats.Table{Title: title, Header: append([]string{"workload group"}, names...)}
+
+	group := func(name string, ms []workload.Mix) {
+		row := []string{name}
+		for _, v := range variants {
+			var vals []float64
+			for _, m := range ms {
+				base := res[keyFor(sim.Base, m.Name, r.scale.Insts, "fs2")]
+				run := res[keyFor(v.preset, m.Name, r.scale.Insts, figCfgString(v.fig, v.fastSubarrays))]
+				vals = append(vals, run.WeightedSpeedupOver(base))
+			}
+			row = append(row, stats.F(stats.Mean(vals), 3))
+		}
+		t.AddRow(row...)
+	}
+	var nonInt, intens []workload.Mix
+	for _, m := range singles {
+		if m.Apps[0].MemIntensive {
+			intens = append(intens, m)
+		} else {
+			nonInt = append(nonInt, m)
+		}
+	}
+	group("1-core non-intensive", nonInt)
+	group("1-core intensive", intens)
+	for _, pct := range []int{25, 50, 75, 100} {
+		group(fmt.Sprintf("8-core %d%%", pct), workload.MixesByCategory(eights, pct))
+	}
+	t.AddNote("%s", note)
+	return t, nil
+}
+
+// sweepVariant is one column of a sensitivity figure.
+type sweepVariant struct {
+	name          string
+	preset        sim.Preset
+	fig           *core.FIGCacheConfig
+	fastSubarrays int
+}
+
+// figVariant builds a FIGCache-Fast variant with a mutated configuration.
+func figVariant(name string, fastSubarrays int, mutate func(*core.FIGCacheConfig)) sweepVariant {
+	cfg := core.DefaultFIGCacheConfig()
+	cfg.CacheRowsPerBank = fastSubarrays * 32
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sweepVariant{name: name, preset: sim.FIGCacheFast, fig: &cfg, fastSubarrays: fastSubarrays}
+}
+
+// Fig12 reproduces Figure 12: performance versus in-DRAM cache capacity
+// (1 to 16 fast subarrays), with LL-DRAM as the bound.
+func (r *Runner) Fig12() (*stats.Table, error) {
+	variants := []sweepVariant{
+		figVariant("1 FS", 1, nil),
+		figVariant("2 FS", 2, nil),
+		figVariant("4 FS", 4, nil),
+		figVariant("8 FS", 8, nil),
+		figVariant("16 FS", 16, nil),
+		{name: "LL-DRAM", preset: sim.LLDRAM, fastSubarrays: 2},
+	}
+	return r.sweepTable(
+		"Figure 12: weighted speedup over Base vs in-DRAM cache capacity",
+		"paper: diminishing returns past 2 fast subarrays (2->4: <2.7%%, 4->8: <0.8%% for 100%%-intensive)",
+		variants)
+}
+
+// Fig13 reproduces Figure 13: performance versus row segment size
+// (512 B to the full 8 kB row), with LISA-VILLA for comparison.
+func (r *Runner) Fig13() (*stats.Table, error) {
+	variants := []sweepVariant{
+		figVariant("512B", 2, func(c *core.FIGCacheConfig) { c.SegmentBlocks = 8 }),
+		figVariant("1kB", 2, func(c *core.FIGCacheConfig) { c.SegmentBlocks = 16 }),
+		figVariant("2kB", 2, func(c *core.FIGCacheConfig) { c.SegmentBlocks = 32 }),
+		figVariant("4kB", 2, func(c *core.FIGCacheConfig) { c.SegmentBlocks = 64 }),
+		figVariant("8kB", 2, func(c *core.FIGCacheConfig) { c.SegmentBlocks = 128 }),
+		{name: "LISA-VILLA", preset: sim.LISAVilla, fastSubarrays: 2},
+	}
+	return r.sweepTable(
+		"Figure 13: weighted speedup over Base vs row segment size",
+		"paper: performance peaks at 1 kB (1/8 row); full-row segments fall below LISA-VILLA",
+		variants)
+}
+
+// Fig14 reproduces Figure 14: in-DRAM cache replacement policies.
+func (r *Runner) Fig14() (*stats.Table, error) {
+	variants := []sweepVariant{
+		figVariant("Random", 2, func(c *core.FIGCacheConfig) { c.Replacement = core.ReplRandom }),
+		figVariant("LRU", 2, func(c *core.FIGCacheConfig) { c.Replacement = core.ReplLRU }),
+		figVariant("SegmentBenefit", 2, func(c *core.FIGCacheConfig) { c.Replacement = core.ReplSegmentBenefit }),
+		figVariant("RowBenefit", 2, func(c *core.FIGCacheConfig) { c.Replacement = core.ReplRowBenefit }),
+	}
+	return r.sweepTable(
+		"Figure 14: weighted speedup over Base vs replacement policy",
+		"paper: all policies >= +12.5%%; RowBenefit best, +4.1%% over SegmentBenefit on 100%%-intensive",
+		variants)
+}
+
+// Fig15 reproduces Figure 15: row segment insertion thresholds.
+func (r *Runner) Fig15() (*stats.Table, error) {
+	variants := []sweepVariant{
+		figVariant("Threshold 1", 2, func(c *core.FIGCacheConfig) { c.InsertThreshold = 1 }),
+		figVariant("Threshold 2", 2, func(c *core.FIGCacheConfig) { c.InsertThreshold = 2 }),
+		figVariant("Threshold 4", 2, func(c *core.FIGCacheConfig) { c.InsertThreshold = 4 }),
+		figVariant("Threshold 8", 2, func(c *core.FIGCacheConfig) { c.InsertThreshold = 8 }),
+	}
+	return r.sweepTable(
+		"Figure 15: weighted speedup over Base vs insertion threshold",
+		"paper: threshold 1 (insert-any-miss) best for memory-intensive workloads",
+		variants)
+}

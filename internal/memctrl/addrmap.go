@@ -1,0 +1,118 @@
+// Package memctrl implements the memory controller: per-channel read and
+// write request queues, FR-FCFS command scheduling, the DDR4 address
+// interleaving from Table 1 of the FIGARO paper, write draining and
+// refresh management, plus the hook through which an in-DRAM cache
+// (FIGCache or LISA-VILLA, in internal/core) redirects requests and
+// triggers in-DRAM relocations.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// AddrMapper decodes a physical byte address into a channel index and a
+// fully decoded DRAM location using the paper's interleaving
+// {row, rank, bankgroup, bank, channel, column} — the row bits are the
+// most significant, the column (block) bits the least significant (above
+// the block offset), with the channel bits between bank and column so that
+// consecutive rows of blocks stripe across channels.
+type AddrMapper struct {
+	geo      dram.Geometry
+	channels int
+
+	blockShift int // log2(block bytes)
+	blocksMask uint64
+	blockBits  int
+	chanBits   int
+	bankBits   int
+	groupBits  int
+	rankBits   int
+}
+
+// NewAddrMapper builds a mapper for the given geometry and channel count.
+// All dimension sizes must be powers of two.
+func NewAddrMapper(geo dram.Geometry, channels int) (*AddrMapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("memctrl: channels must be positive, got %d", channels)
+	}
+	m := &AddrMapper{geo: geo, channels: channels}
+	dims := []struct {
+		name string
+		n    int
+		bits *int
+	}{
+		{"block bytes", geo.BlockBytes, &m.blockShift},
+		{"blocks per row", geo.BlocksPerRow(), &m.blockBits},
+		{"channels", channels, &m.chanBits},
+		{"banks per group", geo.BanksPerGroup, &m.bankBits},
+		{"bank groups", geo.BankGroups, &m.groupBits},
+		{"ranks", geo.Ranks, &m.rankBits},
+	}
+	for _, d := range dims {
+		b, ok := log2(d.n)
+		if !ok {
+			return nil, fmt.Errorf("memctrl: %s (%d) must be a power of two", d.name, d.n)
+		}
+		*d.bits = b
+	}
+	m.blocksMask = uint64(geo.BlocksPerRow() - 1)
+	return m, nil
+}
+
+// Channels returns the number of channels the mapper interleaves across.
+func (m *AddrMapper) Channels() int { return m.channels }
+
+// Geometry returns the per-channel geometry.
+func (m *AddrMapper) Geometry() dram.Geometry { return m.geo }
+
+// TotalBytes returns the capacity across all channels.
+func (m *AddrMapper) TotalBytes() int64 { return int64(m.channels) * m.geo.ChannelBytes() }
+
+// Decode splits a physical byte address into (channel, location).
+// Addresses wrap modulo the total capacity.
+func (m *AddrMapper) Decode(addr uint64) (channel int, loc dram.Location) {
+	a := addr >> uint(m.blockShift)
+	// {row, rank, bankgroup, bank, channel, column}: peel from the least
+	// significant side in reverse order of the interleaving string.
+	loc.Block = int(a & m.blocksMask)
+	a >>= uint(m.blockBits)
+	channel = int(a & uint64(m.channels-1))
+	a >>= uint(m.chanBits)
+	loc.Bank = int(a & uint64(m.geo.BanksPerGroup-1))
+	a >>= uint(m.bankBits)
+	loc.Group = int(a & uint64(m.geo.BankGroups-1))
+	a >>= uint(m.groupBits)
+	loc.Rank = int(a & uint64(m.geo.Ranks-1))
+	a >>= uint(m.rankBits)
+	loc.Row = int(a % uint64(m.geo.RowsPerBank()))
+	return channel, loc
+}
+
+// Encode is the inverse of Decode; it reconstructs the canonical physical
+// byte address of a (channel, location) pair. Used by tests to verify the
+// mapping is a bijection, and by trace tooling.
+func (m *AddrMapper) Encode(channel int, loc dram.Location) uint64 {
+	a := uint64(loc.Row)
+	a = a<<uint(m.rankBits) | uint64(loc.Rank)
+	a = a<<uint(m.groupBits) | uint64(loc.Group)
+	a = a<<uint(m.bankBits) | uint64(loc.Bank)
+	a = a<<uint(m.chanBits) | uint64(channel)
+	a = a<<uint(m.blockBits) | uint64(loc.Block)
+	return a << uint(m.blockShift)
+}
+
+func log2(n int) (bits int, ok bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	for n > 1 {
+		n >>= 1
+		bits++
+	}
+	return bits, true
+}

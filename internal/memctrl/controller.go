@@ -1,0 +1,444 @@
+package memctrl
+
+import (
+	"repro/internal/dram"
+)
+
+// CacheHook is the interface through which an in-DRAM cache (FIGCache or
+// LISA-VILLA, in internal/core) plugs into the memory controller. The
+// controller consults the hook on every request, and notifies it when a
+// miss finishes its column access with the source row still open — the
+// moment FIGCache exploits to relocate the row segment into the cache
+// without paying the first ACTIVATE (Section 8.1 of the paper).
+type CacheHook interface {
+	// Lookup checks whether the block at loc is cached. On a hit it
+	// returns the in-DRAM cache location that serves the request. The
+	// hook updates its benefit/dirty metadata internally.
+	Lookup(loc dram.Location, isWrite bool) (redirect dram.Location, hit bool)
+
+	// ShouldInsert asks the insertion policy whether the missing block's
+	// segment should be relocated into the cache once its row is open.
+	ShouldInsert(loc dram.Location) bool
+
+	// Insert performs the cache bookkeeping for inserting the segment
+	// containing loc, assuming the source row is currently open in its
+	// local row buffer. It returns the relocation work to perform:
+	// occupancy cycles for the bank and the number of RELOC column
+	// operations (or LISA hops). A nil plan means the insertion was
+	// cancelled (e.g. no evictable slot).
+	Insert(ch *dram.Channel, loc dram.Location, now int64) *RelocPlan
+}
+
+// RelocPlan describes in-DRAM relocation work the controller must apply to
+// a bank: total occupancy cycles and accounting detail. The controller
+// defers the work until the source row is about to close; Commit installs
+// the cache metadata at that point, so requests arriving while the source
+// row is still open keep being served from it (as row hits), exactly as
+// the paper's insertion sequence allows (Section 8.1).
+type RelocPlan struct {
+	Loc    dram.Location // bank being occupied
+	Cost   int64         // occupancy in bus cycles
+	Blocks int           // FIGARO RELOC column operations performed
+	Hops   int           // LISA inter-subarray hops performed
+	IsLISA bool
+	// ChannelWide marks a RowClone-PSM relocation: the copy crosses the
+	// shared global data bus and occupies every bank in the channel, not
+	// just the source bank.
+	ChannelWide bool
+	Commit      func() // installs the cache tags when the relocation executes
+}
+
+// Config holds the controller parameters from Table 1.
+type Config struct {
+	ReadQueueDepth  int
+	WriteQueueDepth int
+	// Write drain watermarks: the controller switches to write mode when
+	// the write queue reaches HighWatermark and leaves it at LowWatermark.
+	HighWatermark int
+	LowWatermark  int
+	// IdleFlushAfter is how long (bus cycles) a bank must be free of
+	// column traffic before an otherwise idle tick may spend it on
+	// deferred relocation work.
+	IdleFlushAfter int64
+	// ImmediateReloc executes insertion relocations at miss time instead
+	// of deferring them to row close. This is the naive policy the
+	// deferred design is ablated against: it steals row hits from queued
+	// requests and occupies hot banks at their busiest moment.
+	ImmediateReloc bool
+}
+
+// DefaultConfig returns the 64-entry read/write queues from Table 1.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueDepth: 64, WriteQueueDepth: 64,
+		HighWatermark: 48, LowWatermark: 16,
+		IdleFlushAfter: 64, // ~80 ns of bank quiet time
+	}
+}
+
+// Controller is one channel's memory controller. It ticks once per DRAM
+// bus cycle and issues at most one command per tick, chosen by FR-FCFS:
+// column commands to open rows first (row hits), then the oldest request.
+type Controller struct {
+	ID      int
+	cfg     Config
+	channel *dram.Channel
+	cache   CacheHook
+
+	readQ   *queue
+	writeQ  *queue
+	writing bool // in write-drain mode
+
+	// pendingRelocs holds cache-insertion relocation plans per bank,
+	// deferred until the source row's useful life ends (conflict
+	// precharge, refresh precharge, or an idle tick). Deferring keeps the
+	// row open for queued row hits — the RELOCs only need the row in the
+	// local row buffer, and the controller schedules them when no column
+	// commands are pending (Section 8.1).
+	pendingRelocs map[int][]*RelocPlan
+	// lastColumn records each bank's last column-access cycle; the idle
+	// flush waits IdleFlushAfter cycles beyond it, so relocations do not
+	// close a row in the middle of a spatial burst whose next block is
+	// still working its way down the cache hierarchy.
+	lastColumn map[int]int64
+
+	// Stats.
+	NumReads, NumWrites    int64
+	CacheHits, CacheMisses int64
+	ReadLatencySum         int64 // queue-arrival to data cycles, reads only
+	Inserted               int64 // segments inserted into the in-DRAM cache
+	QueueFullStalls        int64
+
+	// Diagnostics for calibration and latency-composition analysis.
+	MaxReadQ, MaxWriteQ int
+	WritingCycles       int64   // bus cycles spent in write-drain mode
+	LatSamples          []int64 // per-read latency samples (bus cycles)
+}
+
+// NewController builds a controller over the channel. cache may be nil for
+// the Base configuration.
+func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Controller {
+	return &Controller{
+		ID:            id,
+		cfg:           cfg,
+		channel:       ch,
+		cache:         cache,
+		readQ:         newQueue(cfg.ReadQueueDepth),
+		writeQ:        newQueue(cfg.WriteQueueDepth),
+		pendingRelocs: make(map[int][]*RelocPlan),
+		lastColumn:    make(map[int]int64),
+	}
+}
+
+// Channel exposes the underlying DRAM channel (stats, tests).
+func (c *Controller) Channel() *dram.Channel { return c.channel }
+
+// CanAccept reports whether a request of the given kind can enter its
+// queue this cycle.
+func (c *Controller) CanAccept(isWrite bool) bool {
+	if isWrite {
+		return !c.writeQ.full()
+	}
+	return !c.readQ.full()
+}
+
+// Enqueue adds a request. The caller must have checked CanAccept. The
+// controller performs the in-DRAM cache lookup at enqueue time: the tag
+// store (FTS) lives in the memory controller and is consulted for every
+// memory request (Section 5.1).
+func (c *Controller) Enqueue(r *Request, now int64) {
+	r.Arrive = now
+	r.ServiceLoc = r.Loc
+	if c.cache != nil {
+		if redirect, hit := c.cache.Lookup(r.Loc, r.IsWrite); hit {
+			r.ServiceLoc = redirect
+			r.CacheHit = true
+			c.CacheHits++
+		} else {
+			c.CacheMisses++
+			if !c.cache.ShouldInsert(r.Loc) {
+				r.noInsert = true
+			}
+		}
+	}
+	if r.IsWrite {
+		c.writeQ.push(r)
+	} else {
+		c.readQ.push(r)
+	}
+}
+
+// PendingReads returns the number of queued read requests.
+func (c *Controller) PendingReads() int { return c.readQ.size() }
+
+// PendingWrites returns the number of queued write requests.
+func (c *Controller) PendingWrites() int { return c.writeQ.size() }
+
+// Tick advances the controller by one bus cycle, issuing at most one
+// command. done receives completion callbacks to schedule; the controller
+// calls them synchronously at the data-end cycle via the deferred list the
+// caller drains.
+func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) {
+	// Refresh has strict priority once due: the controller stops issuing
+	// new work to the rank, precharges its open banks as their timing
+	// allows, and issues REF as soon as every bank is closed and the bus
+	// timing permits. Without the full stop, normal scheduling would
+	// re-activate rows between precharges and the refresh would starve.
+	if rank, due := c.channel.RefreshDue(now); due {
+		cmd := dram.Command{Type: dram.CmdREF, Loc: dram.Location{Rank: rank}}
+		if at, ok := c.channel.CanIssue(cmd, now); ok {
+			if at <= now {
+				c.channel.Issue(cmd, now)
+			}
+			return // all banks closed; wait for REF timing
+		}
+		c.prechargeForRefresh(rank, now)
+		return // hold new work until the refresh has issued
+	}
+
+	c.noteQueueDepths()
+	// Write drain mode hysteresis.
+	if c.writing {
+		if c.writeQ.size() <= c.cfg.LowWatermark {
+			c.writing = false
+		}
+	} else if c.writeQ.full() || c.writeQ.size() >= c.cfg.HighWatermark {
+		c.writing = true
+	} else if c.readQ.empty() && c.writeQ.size() > 0 {
+		c.writing = true // opportunistic drain when no reads are waiting
+	}
+
+	q := c.readQ
+	if c.writing {
+		c.WritingCycles++
+		q = c.writeQ
+	}
+	if q.empty() {
+		// Nothing in the preferred queue; try the other one.
+		if c.writing {
+			q = c.readQ
+		} else {
+			q = c.writeQ
+		}
+	}
+	if q.empty() || !c.schedule(q, now, schedule) {
+		// Nothing issuable this tick: spend it on deferred relocations.
+		c.flushIdleRelocs(now)
+	}
+}
+
+// prechargeForRefresh closes one open bank in the rank; returns true if a
+// PRE was issued.
+func (c *Controller) prechargeForRefresh(rank int, now int64) bool {
+	geo := c.channel.Geo
+	for g := 0; g < geo.BankGroups; g++ {
+		for b := 0; b < geo.BanksPerGroup; b++ {
+			loc := dram.Location{Rank: rank, Group: g, Bank: b}
+			bank := c.channel.Bank(loc)
+			if row, cache := bank.Open(); row != -1 {
+				loc.Row, loc.CacheRow = row, cache
+				cmd := dram.Command{Type: dram.CmdPRE, Loc: loc}
+				if at, ok := c.channel.CanIssue(cmd, now); ok && at <= now {
+					if c.flushRelocs(loc.BankID(geo), now, true) {
+						return true
+					}
+					c.channel.Issue(cmd, now)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// flushRelocs performs the deferred relocation work for a bank, occupying
+// it for the combined cost and leaving it precharged. rowOpen indicates
+// that the source rows' data is still reachable via the open-row path; if
+// the bank was already closed (e.g. the row was precharged by refresh
+// before the flush), each plan pays an extra ACTIVATE to reopen its source
+// row. Returns false when the bank has no pending work.
+func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
+	plans := c.pendingRelocs[bankID]
+	if len(plans) == 0 {
+		return false
+	}
+	delete(c.pendingRelocs, bankID)
+	var cost int64
+	blocks, hops := 0, 0
+	isLISA, channelWide := false, false
+	for _, p := range plans {
+		cost += p.Cost
+		if !rowOpen {
+			cost += int64(c.channel.Slow.RCD)
+		}
+		blocks += p.Blocks
+		hops += p.Hops
+		isLISA = isLISA || p.IsLISA
+		channelWide = channelWide || p.ChannelWide
+		if p.Commit != nil {
+			p.Commit()
+		}
+	}
+	if channelWide {
+		c.channel.RelocateAll(plans[0].Loc, now, cost, blocks)
+	} else {
+		c.channel.Relocate(plans[0].Loc, now, cost, blocks, isLISA, hops)
+	}
+	return true
+}
+
+// flushIdleRelocs spends an otherwise idle tick performing deferred
+// relocation work on a bank that no queued request needs right now and
+// that has been quiet for at least IdleFlushAfter cycles.
+func (c *Controller) flushIdleRelocs(now int64) {
+	for bankID, plans := range c.pendingRelocs {
+		if len(plans) == 0 {
+			continue
+		}
+		if now-c.lastColumn[bankID] < c.cfg.IdleFlushAfter {
+			continue
+		}
+		loc := plans[0].Loc
+		bank := c.channel.Bank(loc)
+		row, _ := bank.Open()
+		if row != -1 {
+			// Only flush if the bank could precharge now (tRAS met).
+			if at, ok := bank.CanPRE(now); !ok || at > now {
+				continue
+			}
+		} else if at, ok := bank.CanACT(now); !ok || at > now {
+			continue
+		}
+		c.flushRelocs(bankID, now, row != -1)
+		return
+	}
+}
+
+// schedule implements FR-FCFS over queue q: first any request whose column
+// command is ready on an open row (oldest first), then the oldest request,
+// for which it issues the next command of the ACT/PRE sequence.
+func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) bool {
+	// Pass 1: row hits — column command ready now.
+	for i, r := range q.items {
+		cmd := c.columnCmd(r)
+		if at, ok := c.channel.CanIssue(cmd, now); ok && at <= now {
+			c.issueColumn(q, i, r, now, schedule)
+			return true
+		}
+	}
+	// Pass 2: oldest request first, issue ACT or PRE as needed. Each bank
+	// belongs to the oldest request targeting it: younger requests must
+	// not precharge a row an older request is still waiting on.
+	claimed := make(map[int]bool, len(q.items))
+	for _, r := range q.items {
+		bankID := r.ServiceLoc.BankID(c.channel.Geo)
+		if claimed[bankID] {
+			continue
+		}
+		claimed[bankID] = true
+		bank := c.channel.Bank(r.ServiceLoc)
+		row, cacheRow := bank.Open()
+		if row == r.ServiceLoc.Row && cacheRow == r.ServiceLoc.CacheRow {
+			continue // waiting on tRCD; pass 1 will pick it up
+		}
+		if row != -1 {
+			// Conflict: precharge the open row, folding in any pending
+			// relocation work for the bank (the RELOC burst ends with the
+			// precharge the row needed anyway).
+			pre := dram.Command{Type: dram.CmdPRE,
+				Loc: dram.Location{Rank: r.ServiceLoc.Rank, Group: r.ServiceLoc.Group,
+					Bank: r.ServiceLoc.Bank, Row: row, CacheRow: cacheRow}}
+			if at, ok := c.channel.CanIssue(pre, now); ok && at <= now {
+				bank.RowConflict++
+				if c.flushRelocs(bankID, now, true) {
+					return true
+				}
+				c.channel.Issue(pre, now)
+				return true
+			}
+			continue
+		}
+		act := dram.Command{Type: dram.CmdACT, Loc: r.ServiceLoc}
+		if at, ok := c.channel.CanIssue(act, now); ok && at <= now {
+			bank.RowMisses++
+			c.channel.Issue(act, now)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) columnCmd(r *Request) dram.Command {
+	t := dram.CmdRD
+	if r.IsWrite {
+		t = dram.CmdWR
+	}
+	return dram.Command{Type: t, Loc: r.ServiceLoc}
+}
+
+// issueColumn issues the RD/WR for q.items[i], retires the request, and
+// triggers cache insertion for read misses (the relocation runs while the
+// just-accessed source row is still open).
+func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, fn func(int64))) {
+	bank := c.channel.Bank(r.ServiceLoc)
+	bank.RowHits++
+	c.lastColumn[r.ServiceLoc.BankID(c.channel.Geo)] = now
+	end := c.channel.Issue(c.columnCmd(r), now)
+	if r.IsWrite {
+		c.NumWrites++
+	} else {
+		c.NumReads++
+		c.ReadLatencySum += end - r.Arrive
+		c.LatSamples = append(c.LatSamples, end-r.Arrive)
+	}
+	if r.OnComplete != nil {
+		schedule(end, r.OnComplete)
+	}
+	q.remove(i)
+
+	// Cache insertion on miss: the source row is open in its local row
+	// buffer, so the relocation skips the first ACTIVATE (Section 8.1).
+	// The relocation work is deferred until the row is about to close so
+	// it does not steal row hits from queued requests. A zero-cost plan
+	// (the FIGCache-Ideal configuration) updates metadata only.
+	if c.cache != nil && !r.CacheHit && !r.noInsert && !r.ServiceLoc.CacheRow {
+		if plan := c.cache.Insert(c.channel, r.Loc, now); plan != nil {
+			id := plan.Loc.BankID(c.channel.Geo)
+			c.pendingRelocs[id] = append(c.pendingRelocs[id], plan)
+			c.Inserted++
+			if c.cfg.ImmediateReloc {
+				c.flushRelocs(id, now, true)
+			}
+		}
+	}
+}
+
+// AvgReadLatencyNS returns the mean read latency (arrival to last data
+// beat) in nanoseconds.
+func (c *Controller) AvgReadLatencyNS() float64 {
+	if c.NumReads == 0 {
+		return 0
+	}
+	return c.channel.Slow.NS(c.ReadLatencySum) / float64(c.NumReads)
+}
+
+// CacheHitRate returns the in-DRAM cache hit rate observed by this
+// controller, or 0 when no cache is configured.
+func (c *Controller) CacheHitRate() float64 {
+	total := c.CacheHits + c.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(total)
+}
+
+// Debug instrumentation (kept cheap; used by calibration tests and the
+// figbench harness to explain latency composition).
+func (c *Controller) noteQueueDepths() {
+	if n := c.readQ.size(); n > c.MaxReadQ {
+		c.MaxReadQ = n
+	}
+	if n := c.writeQ.size(); n > c.MaxWriteQ {
+		c.MaxWriteQ = n
+	}
+}

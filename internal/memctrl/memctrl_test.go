@@ -1,0 +1,386 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func newTestController(t *testing.T, hook CacheHook) *Controller {
+	t.Helper()
+	geo := dram.Default()
+	slow := dram.DDR4()
+	ch, err := dram.NewChannel(geo, slow, slow.Fast(dram.PaperFastScale()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewController(0, DefaultConfig(), ch, hook)
+}
+
+// runUntil ticks the controller until pred returns true or the cycle limit
+// is reached, draining scheduled callbacks at their due cycle.
+func runUntil(c *Controller, limit int64, pred func() bool) int64 {
+	type ev struct {
+		at int64
+		fn func(int64)
+	}
+	var pending []ev
+	for now := int64(0); now < limit; now++ {
+		for i := 0; i < len(pending); {
+			if pending[i].at <= now {
+				pending[i].fn(now)
+				pending = append(pending[:i], pending[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		if pred() {
+			return now
+		}
+		c.Tick(now, func(at int64, fn func(int64)) {
+			pending = append(pending, ev{at, fn})
+		})
+	}
+	return limit
+}
+
+func TestAddrMapperBijection(t *testing.T) {
+	for _, channels := range []int{1, 4} {
+		m, err := NewAddrMapper(dram.Default(), channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			addr := (rng.Uint64() % uint64(m.TotalBytes())) &^ uint64(m.geo.BlockBytes-1)
+			ch, loc := m.Decode(addr)
+			if got := m.Encode(ch, loc); got != addr {
+				t.Fatalf("channels=%d: Encode(Decode(%#x)) = %#x", channels, addr, got)
+			}
+			if ch < 0 || ch >= channels {
+				t.Fatalf("channel %d out of range", ch)
+			}
+		}
+	}
+}
+
+func TestAddrMapperInterleaving(t *testing.T) {
+	// {row, rank, bankgroup, bank, channel, column}: consecutive blocks
+	// within a row map to the same bank/channel until the column bits
+	// roll over; then the channel changes.
+	m, err := NewAddrMapper(dram.Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := uint64(m.geo.BlockBytes)
+	ch0, loc0 := m.Decode(0)
+	ch1, loc1 := m.Decode(blk)
+	if ch0 != ch1 || !loc0.SameBank(loc1) || loc1.Block != loc0.Block+1 {
+		t.Errorf("consecutive blocks: (%d,%v) then (%d,%v)", ch0, loc0, ch1, loc1)
+	}
+	// Crossing the row's worth of blocks switches channel first.
+	rowBytes := uint64(m.geo.RowBytes)
+	chN, _ := m.Decode(rowBytes)
+	if chN == ch0 {
+		t.Errorf("row-size stride stayed on channel %d; want channel interleave", chN)
+	}
+}
+
+func TestAddrMapperRejectsNonPow2(t *testing.T) {
+	geo := dram.Default()
+	geo.BankGroups = 3
+	if _, err := NewAddrMapper(geo, 1); err == nil {
+		t.Error("accepted non-power-of-two bank groups")
+	}
+	if _, err := NewAddrMapper(dram.Default(), 0); err == nil {
+		t.Error("accepted zero channels")
+	}
+}
+
+func TestReadRequestCompletes(t *testing.T) {
+	c := newTestController(t, nil)
+	done := false
+	var doneAt int64
+	r := &Request{Loc: dram.Location{Row: 42, Block: 5},
+		OnComplete: func(at int64) { done = true; doneAt = at }}
+	c.Enqueue(r, 0)
+	end := runUntil(c, 200, func() bool { return done })
+	if !done {
+		t.Fatal("read did not complete within 200 cycles")
+	}
+	tm := c.Channel().Slow
+	// Minimum latency: tRCD + tCL + tBL.
+	if min := int64(tm.RCD + tm.CL + tm.BL); doneAt < min {
+		t.Errorf("read completed at %d, faster than minimum %d", doneAt, min)
+	}
+	_ = end
+	if c.NumReads != 1 {
+		t.Errorf("NumReads = %d, want 1", c.NumReads)
+	}
+}
+
+func TestRowHitSecondRead(t *testing.T) {
+	c := newTestController(t, nil)
+	var completions int
+	mk := func(block int) *Request {
+		return &Request{Loc: dram.Location{Row: 42, Block: block},
+			OnComplete: func(int64) { completions++ }}
+	}
+	c.Enqueue(mk(0), 0)
+	c.Enqueue(mk(1), 0)
+	runUntil(c, 300, func() bool { return completions == 2 })
+	if completions != 2 {
+		t.Fatal("both reads should complete")
+	}
+	s := c.Channel().CollectStats()
+	if s.ACT != 1 {
+		t.Errorf("ACT count = %d, want 1 (second read is a row hit)", s.ACT)
+	}
+	if s.RowHits != 2 {
+		t.Errorf("RowHits = %d, want 2 column accesses on the open row", s.RowHits)
+	}
+}
+
+func TestRowConflictPrecharges(t *testing.T) {
+	c := newTestController(t, nil)
+	var completions int
+	on := func(int64) { completions++ }
+	c.Enqueue(&Request{Loc: dram.Location{Row: 1}, OnComplete: on}, 0)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 2}, OnComplete: on}, 0)
+	runUntil(c, 500, func() bool { return completions == 2 })
+	if completions != 2 {
+		t.Fatal("both reads should complete")
+	}
+	s := c.Channel().CollectStats()
+	if s.ACT != 2 || s.PRE < 1 {
+		t.Errorf("stats %+v: want 2 ACT and at least 1 PRE", s)
+	}
+	if s.RowConf != 1 {
+		t.Errorf("RowConf = %d, want 1", s.RowConf)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	c := newTestController(t, nil)
+	order := make([]int, 0, 3)
+	mk := func(id, row, block int) *Request {
+		return &Request{Loc: dram.Location{Row: row, Block: block},
+			OnComplete: func(int64) { order = append(order, id) }}
+	}
+	// Open row 1 via request 0; then a conflicting request to row 9
+	// arrives before another hit to row 1. FR-FCFS must serve the row hit
+	// (request 2) before the older conflicting request 1.
+	c.Enqueue(mk(0, 1, 0), 0)
+	runUntil(c, 100, func() bool { return len(order) == 1 })
+	c.Enqueue(mk(1, 9, 0), 40)
+	c.Enqueue(mk(2, 1, 1), 41)
+	runUntil(c, 600, func() bool { return len(order) == 3 })
+	if len(order) != 3 || order[1] != 2 || order[2] != 1 {
+		t.Errorf("completion order = %v, want [0 2 1] (row hit first)", order)
+	}
+}
+
+func TestWriteDrainHysteresis(t *testing.T) {
+	c := newTestController(t, nil)
+	// Fill the write queue past the high watermark; the controller must
+	// drain it below the low watermark even while reads keep arriving.
+	for i := 0; i < c.cfg.HighWatermark+1; i++ {
+		c.Enqueue(&Request{Loc: dram.Location{Row: i % 4, Block: i % 128}, IsWrite: true}, 0)
+	}
+	runUntil(c, 5000, func() bool { return c.PendingWrites() <= c.cfg.LowWatermark })
+	if c.PendingWrites() > c.cfg.LowWatermark {
+		t.Errorf("write queue not drained: %d pending", c.PendingWrites())
+	}
+	if c.NumWrites == 0 {
+		t.Error("no writes issued")
+	}
+}
+
+func TestOpportunisticWriteDrain(t *testing.T) {
+	c := newTestController(t, nil)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 3}, IsWrite: true}, 0)
+	runUntil(c, 1000, func() bool { return c.PendingWrites() == 0 })
+	if c.PendingWrites() != 0 {
+		t.Error("single write never drained with an empty read queue")
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	c := newTestController(t, nil)
+	for i := 0; i < c.cfg.ReadQueueDepth; i++ {
+		if !c.CanAccept(false) {
+			t.Fatalf("queue refused request %d of %d", i, c.cfg.ReadQueueDepth)
+		}
+		c.Enqueue(&Request{Loc: dram.Location{Row: i}}, 0)
+	}
+	if c.CanAccept(false) {
+		t.Error("queue accepted request beyond capacity")
+	}
+	if !c.CanAccept(true) {
+		t.Error("write queue should still accept")
+	}
+}
+
+func TestRefreshEventuallyIssues(t *testing.T) {
+	c := newTestController(t, nil)
+	// Keep a stream of reads flowing across several tREFI periods and
+	// verify refreshes still happen.
+	var served int64
+	row := 0
+	limit := int64(c.Channel().Slow.REFI) * 3
+	for now := int64(0); now < limit; now++ {
+		if c.CanAccept(false) && now%50 == 0 {
+			row++
+			c.Enqueue(&Request{Loc: dram.Location{Row: row % 1000},
+				OnComplete: func(int64) { served++ }}, now)
+		}
+		c.Tick(now, func(at int64, fn func(int64)) {})
+	}
+	if c.Channel().NumREF < 2 {
+		t.Errorf("NumREF = %d over 3 tREFI, want >= 2", c.Channel().NumREF)
+	}
+}
+
+// fakeCache is a deterministic CacheHook for controller-integration tests.
+type fakeCache struct {
+	cached    map[uint64]dram.Location
+	insertAll bool
+	inserted  int
+	lookups   int
+	relocCost int64
+	relocLoc  dram.Location
+	blocks    int
+}
+
+func key(loc dram.Location) uint64 {
+	return uint64(loc.BankID(dram.Default()))<<40 | uint64(loc.Row)<<8 | uint64(loc.Block/16)
+}
+
+func (f *fakeCache) Lookup(loc dram.Location, isWrite bool) (dram.Location, bool) {
+	f.lookups++
+	redirect, ok := f.cached[key(loc)]
+	if ok {
+		redirect.Block = loc.Block % 16
+	}
+	return redirect, ok
+}
+
+func (f *fakeCache) ShouldInsert(loc dram.Location) bool { return f.insertAll }
+
+func (f *fakeCache) Insert(ch *dram.Channel, loc dram.Location, now int64) *RelocPlan {
+	f.inserted++
+	redirect := dram.Location{Rank: loc.Rank, Group: loc.Group, Bank: loc.Bank, Row: 0, CacheRow: true}
+	f.cached[key(loc)] = redirect
+	return &RelocPlan{Loc: loc, Cost: f.relocCost, Blocks: f.blocks}
+}
+
+func TestCacheHookHitRedirects(t *testing.T) {
+	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: true, relocCost: 30, blocks: 16}
+	c := newTestController(t, fc)
+	var completions int
+	on := func(int64) { completions++ }
+
+	// First access: miss, triggers insertion.
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7, Block: 3}, OnComplete: on}, 0)
+	runUntil(c, 400, func() bool { return completions == 1 })
+	if fc.inserted != 1 || c.Inserted != 1 {
+		t.Fatalf("inserted = %d/%d, want 1/1", fc.inserted, c.Inserted)
+	}
+	if c.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1", c.CacheMisses)
+	}
+
+	// Second access to the same segment: must hit and be served from the
+	// cache row.
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7, Block: 4}, OnComplete: on}, 500)
+	runUntil(c, 1500, func() bool { return completions == 2 })
+	if c.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", c.CacheHits)
+	}
+	if fc.inserted != 1 {
+		t.Errorf("hit triggered another insertion: %d", fc.inserted)
+	}
+}
+
+func TestCacheInsertOccupiesBank(t *testing.T) {
+	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: true, relocCost: 100, blocks: 16}
+	c := newTestController(t, fc)
+	var first, second int64
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: func(at int64) { first = at }}, 0)
+	runUntil(c, 400, func() bool { return first != 0 })
+	// A conflicting request right after insertion must wait out the
+	// relocation occupancy.
+	c.Enqueue(&Request{Loc: dram.Location{Row: 8}, OnComplete: func(at int64) { second = at }}, first)
+	runUntil(c, 2000, func() bool { return second != 0 })
+	// The second insertion is deferred; idle ticks must flush it.
+	runUntil(c, 4000, func() bool { return c.Channel().CollectStats().RELOC >= 32 })
+	s := c.Channel().CollectStats()
+	if s.RELOC != 32 { // both misses insert a 16-block segment
+		t.Errorf("RELOC blocks = %d, want 32", s.RELOC)
+	}
+	tm := c.Channel().Slow
+	// second must be at least relocCost after the first column access.
+	if second-first < 100-int64(tm.CL+tm.BL) {
+		t.Errorf("conflicting read finished at %d, only %d after first; relocation not enforced",
+			second, second-first)
+	}
+}
+
+func TestNoInsertWhenPolicyDeclines(t *testing.T) {
+	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: false}
+	c := newTestController(t, fc)
+	done := false
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: func(int64) { done = true }}, 0)
+	runUntil(c, 400, func() bool { return done })
+	if fc.inserted != 0 {
+		t.Errorf("inserted %d despite policy declining", fc.inserted)
+	}
+}
+
+func TestWritesDoNotTriggerInsertDuringService(t *testing.T) {
+	// Writes are drained lazily; insertion is still allowed for them per
+	// insert-any-miss, but the fake declines everything so the write path
+	// must not call Insert.
+	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: false}
+	c := newTestController(t, fc)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, IsWrite: true}, 0)
+	runUntil(c, 1000, func() bool { return c.PendingWrites() == 0 })
+	if fc.inserted != 0 {
+		t.Errorf("write path inserted %d", fc.inserted)
+	}
+}
+
+// Property: every enqueued read eventually completes, in bounded time,
+// regardless of the address mix.
+func TestPropertyAllReadsComplete(t *testing.T) {
+	f := func(rows []uint16) bool {
+		if len(rows) > 32 {
+			rows = rows[:32]
+		}
+		c := newTestController(t, nil)
+		want := 0
+		got := 0
+		for now := int64(0); now < 100000; now++ {
+			if want < len(rows) && c.CanAccept(false) {
+				c.Enqueue(&Request{
+					Loc:        dram.Location{Row: int(rows[want]) % 32768, Block: int(rows[want]) % 128},
+					OnComplete: func(int64) { got++ },
+				}, now)
+				want++
+			}
+			c.Tick(now, func(at int64, fn func(int64)) {
+				// Completion callbacks only mutate counters; invoke late.
+				defer fn(at)
+			})
+			if want == len(rows) && got == want {
+				return true
+			}
+		}
+		return len(rows) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package memctrl
+
+import "repro/internal/dram"
+
+// Request is one cache-block memory request queued at a channel's memory
+// controller.
+type Request struct {
+	Addr    uint64        // physical byte address (block aligned)
+	Loc     dram.Location // decoded location in the channel
+	IsWrite bool
+	Arrive  int64 // bus cycle the request entered the queue
+	CoreID  int   // originating core, for per-core statistics
+
+	// OnComplete, if non-nil, fires once the request's data transfer has
+	// finished (reads: last beat received; writes: retired from the write
+	// queue). The argument is the completion bus cycle.
+	OnComplete func(at int64)
+
+	// ServiceLoc is where the request is actually served: either Loc, or
+	// the in-DRAM cache location the cache hook redirected it to.
+	ServiceLoc dram.Location
+	// CacheHit marks requests served from the in-DRAM cache.
+	CacheHit bool
+	// noInsert suppresses cache insertion for this request (set by the
+	// cache hook when the insertion policy declines the segment).
+	noInsert bool
+}
+
+// queue is a FIFO of requests with a fixed capacity.
+type queue struct {
+	items []*Request
+	cap   int
+}
+
+func newQueue(capacity int) *queue { return &queue{cap: capacity} }
+
+func (q *queue) full() bool      { return len(q.items) >= q.cap }
+func (q *queue) empty() bool     { return len(q.items) == 0 }
+func (q *queue) size() int       { return len(q.items) }
+func (q *queue) capacity() int   { return q.cap }
+func (q *queue) push(r *Request) { q.items = append(q.items, r) }
+
+// remove deletes the request at index i, preserving arrival order.
+func (q *queue) remove(i int) {
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+}

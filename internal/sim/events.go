@@ -1,0 +1,55 @@
+// Package sim assembles the full simulated system of the FIGARO paper:
+// trace-driven cores (internal/cpu), the SRAM hierarchy (internal/cache),
+// per-channel memory controllers (internal/memctrl) over the DDR4 device
+// model (internal/dram), and the in-DRAM cache configurations of Section 8
+// (Base, LISA-VILLA, FIGCache-Slow, FIGCache-Fast, FIGCache-Ideal,
+// LL-DRAM). It runs the whole system on one CPU-cycle clock (3.2 GHz) with
+// the DRAM bus ticking every fourth cycle (800 MHz).
+package sim
+
+import "container/heap"
+
+// event is a deferred callback in CPU-cycle time.
+type event struct {
+	at  int64
+	seq int64 // tie-breaker for deterministic ordering
+	fn  func(now int64)
+}
+
+// eventQueue is a deterministic min-heap of events.
+type eventQueue struct {
+	items []event
+	seq   int64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// schedule adds a callback at absolute CPU cycle at.
+func (q *eventQueue) schedule(at int64, fn func(int64)) {
+	q.seq++
+	heap.Push(q, event{at: at, seq: q.seq, fn: fn})
+}
+
+// fireDue runs all events due at or before now, in order.
+func (q *eventQueue) fireDue(now int64) {
+	for q.Len() > 0 && q.items[0].at <= now {
+		it := heap.Pop(q).(event)
+		it.fn(now)
+	}
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/workload"
+)
+
+// System is one fully assembled simulated machine.
+type System struct {
+	cfg    Config
+	clock  int64
+	events eventQueue
+
+	cores    []*cpu.Core
+	hier     *cache.Hierarchy
+	mapper   *memctrl.AddrMapper
+	ctrls    []*memctrl.Controller
+	channels []*dram.Channel
+	hooks    []memctrl.CacheHook
+	adapter  *memAdapter
+}
+
+// New builds a system for the configuration.
+func New(cfg Config) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+
+	geo := cfg.geometry()
+	slow := dram.DDR4()
+	fast := slow.Fast(dram.PaperFastScale())
+	allFast := cfg.Preset == LLDRAM
+
+	mapper, err := memctrl.NewAddrMapper(geo, cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	s.mapper = mapper
+
+	for ch := 0; ch < cfg.Channels; ch++ {
+		channel, err := dram.NewChannel(geo, slow, fast, allFast)
+		if err != nil {
+			return nil, err
+		}
+		hook, err := cfg.buildHook(geo)
+		if err != nil {
+			return nil, err
+		}
+		mcCfg := memctrl.DefaultConfig()
+		mcCfg.ImmediateReloc = cfg.ImmediateReloc
+		s.channels = append(s.channels, channel)
+		s.hooks = append(s.hooks, hook)
+		s.ctrls = append(s.ctrls, memctrl.NewController(ch, mcCfg, channel, hook))
+	}
+
+	s.adapter = &memAdapter{sys: s}
+	hier, err := cache.NewHierarchy(cfg.hierarchyConfig(), s.adapter, s)
+	if err != nil {
+		return nil, err
+	}
+	s.hier = hier
+
+	// Build cores with equal disjoint address windows (or one shared
+	// window for multithreaded workloads). Each benchmark's footprint is
+	// scattered across its whole window by the generator, mimicking OS
+	// page placement across banks and subarrays.
+	span := uint64(mapper.TotalBytes())
+	if !cfg.SharedFootprint {
+		span = floorPow2(uint64(mapper.TotalBytes()) / uint64(len(cfg.Mix.Apps)))
+	}
+	for i, app := range cfg.Mix.Apps {
+		base := uint64(0)
+		if !cfg.SharedFootprint {
+			base = uint64(i) * span
+		}
+		if uint64(app.FootprintBytes) > span {
+			return nil, fmt.Errorf("sim: %s footprint %d exceeds its %d-byte window",
+				app.Name, app.FootprintBytes, span)
+		}
+		// The generator needs the distance between two rows of the same
+		// bank under this system's interleaving, so hot conflict groups
+		// land in one bank across different rows (Section 8.1). Threads of
+		// a multithreaded workload share one layout seed so their logical
+		// segments resolve to the same physical addresses.
+		layout := workload.Layout{
+			RowStrideBytes: uint64(geo.RowBytes) * uint64(cfg.Channels) *
+				uint64(geo.BanksPerRank()) * uint64(geo.Ranks),
+		}
+		if cfg.SharedFootprint {
+			layout.LayoutSeed = cfg.Seed + 0x51ed270b
+		}
+		gen, err := workload.NewGeneratorLayout(app, cfg.Seed+uint64(i)*1315423911, base, span, layout)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cpu.New(i, cfg.coreConfig(), gen, hier.L1s[i], cfg.TargetInsts)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// floorPow2 rounds v down to a power of two.
+func floorPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p<<1 <= v {
+		p <<= 1
+	}
+	return p
+}
+
+// After implements cache.Scheduler on the system's event queue.
+func (s *System) After(delay int64, fn func(now int64)) {
+	s.events.schedule(s.clock+delay, fn)
+}
+
+// Clock returns the current CPU cycle.
+func (s *System) Clock() int64 { return s.clock }
+
+// Config returns the normalized run configuration (defaults filled in).
+func (s *System) Config() Config { return s.cfg }
+
+// Cores exposes the simulated cores.
+func (s *System) Cores() []*cpu.Core { return s.cores }
+
+// Hierarchy exposes the SRAM hierarchy.
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Controllers exposes the per-channel memory controllers.
+func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// Hooks exposes the per-channel in-DRAM cache hooks (nil entries for
+// configurations without one).
+func (s *System) Hooks() []memctrl.CacheHook { return s.hooks }
+
+// memAdapter bridges the SRAM hierarchy to the memory controllers: it
+// decodes addresses, buffers requests that do not fit in the controller
+// queues, and converts completion times between clock domains.
+type memAdapter struct {
+	sys     *System
+	pending []*pendingReq
+}
+
+type pendingReq struct {
+	channel int
+	req     *memctrl.Request
+}
+
+// Request implements cache.Backend.
+func (m *memAdapter) Request(addr uint64, isWrite bool, coreID int, onDone func(now int64)) {
+	ch, loc := m.sys.mapper.Decode(addr)
+	req := &memctrl.Request{Addr: addr, Loc: loc, IsWrite: isWrite, CoreID: coreID}
+	// The controller invokes OnComplete through the scheduler lambda in
+	// System.Run, which already converts bus cycles to CPU cycles, so the
+	// callback fires in CPU time and can be passed through directly.
+	req.OnComplete = onDone
+	m.pending = append(m.pending, &pendingReq{channel: ch, req: req})
+}
+
+// drain moves buffered requests into controller queues as space allows.
+// Order is preserved per channel.
+func (m *memAdapter) drain(busNow int64) {
+	for i := 0; i < len(m.pending); {
+		p := m.pending[i]
+		ctrl := m.sys.ctrls[p.channel]
+		if ctrl.CanAccept(p.req.IsWrite) {
+			ctrl.Enqueue(p.req, busNow)
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+// Run executes the system until every core reaches its instruction target
+// (or MaxCycles elapse) and returns the collected results.
+func (s *System) Run() (Result, error) {
+	cpb := s.cfg.CPUPerBus
+	for ; s.clock < s.cfg.MaxCycles; s.clock++ {
+		s.events.fireDue(s.clock)
+		if s.clock%cpb == 0 {
+			busNow := s.clock / cpb
+			s.adapter.drain(busNow)
+			for _, ctrl := range s.ctrls {
+				ctrl.Tick(busNow, func(at int64, fn func(int64)) {
+					s.events.schedule(at*cpb, fn)
+				})
+			}
+		}
+		allDone := true
+		for _, c := range s.cores {
+			c.Tick(s.clock)
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			s.clock++
+			break
+		}
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			return Result{}, fmt.Errorf("sim: core %d retired only %d/%d instructions in %d cycles",
+				c.ID, c.Retired, c.TargetInsts, s.clock)
+		}
+	}
+	return s.collect(), nil
+}

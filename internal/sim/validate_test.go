@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/workload"
+)
+
+// TestCommandTracesObeyJEDEC runs every preset on a warm workload with
+// command tracing enabled and validates the full command stream against
+// the JEDEC timing rules with the independent post-hoc checker. This is
+// the simulator's strongest correctness net: any scheduling path that
+// slips a command past the issue-time checks is caught here.
+func TestCommandTracesObeyJEDEC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace validation in -short mode")
+	}
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Bubbles = 4
+	spec.HotSegments = 2560
+	spec.HotFraction = 0.95
+	mix := workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := DefaultConfig(p, mix)
+			cfg.TargetInsts = 40_000
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ch := range s.channels {
+				ch.TraceOn = true
+			}
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, ch := range s.channels {
+				if len(ch.Trace) == 0 {
+					t.Fatalf("channel %d recorded no commands", i)
+				}
+				vs := dram.ValidateTrace(ch.Geo, ch.Slow, ch.Fast, p == LLDRAM, ch.Trace)
+				// Relocation occupancy is invisible to the validator (it
+				// is not a command), so traces with in-DRAM caching may
+				// legitimately contain ACTs "too early" after a
+				// Relocate-closed bank; filter to violations that cannot
+				// be explained by relocation bank occupancy.
+				var hard []dram.Violation
+				for _, v := range vs {
+					switch v.Constraint {
+					case "tRC", "tRP", "tRAS": // can be displaced by Relocate/ForceClose
+						if p == Base || p == LLDRAM {
+							hard = append(hard, v)
+						}
+					default:
+						hard = append(hard, v)
+					}
+				}
+				if len(hard) > 0 {
+					max := len(hard)
+					if max > 5 {
+						max = 5
+					}
+					for _, v := range hard[:max] {
+						t.Errorf("channel %d: %v", i, v)
+					}
+					t.Fatalf("channel %d: %d violations in %d commands", i, len(hard), len(ch.Trace))
+				}
+			}
+		})
+	}
+}

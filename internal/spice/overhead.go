@@ -1,0 +1,113 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+)
+
+// OverheadParams hold the RTL-evaluation constants of Section 8.3 at the
+// 22 nm technology node.
+type OverheadParams struct {
+	ColMuxAreaUM2    float64 // per-subarray column address MUX
+	RowMuxAreaUM2    float64 // per-subarray row address MUX
+	RowLatchAreaUM2  float64 // per-subarray 40-bit row address latch
+	ColMuxPowerUW    float64
+	RowMuxPowerUW    float64
+	RowLatchPowerUW  float64
+	ChipAreaMM2      float64 // whole DRAM chip
+	FastSubarrayArea float64 // fast subarray area relative to a slow one
+	SlowSubarrayMM2  float64 // area of one slow subarray incl. sense amps
+}
+
+// DefaultOverheadParams returns Section 8.3's reported values, with chip
+// and subarray areas representative of an 8 Gb DDR4 die.
+func DefaultOverheadParams() OverheadParams {
+	return OverheadParams{
+		ColMuxAreaUM2:    4.7,
+		RowMuxAreaUM2:    18.8,
+		RowLatchAreaUM2:  35.2,
+		ColMuxPowerUW:    2.1,
+		RowMuxPowerUW:    8.4,
+		RowLatchPowerUW:  19.1,
+		ChipAreaMM2:      60,
+		FastSubarrayArea: 0.226, // 22.6% of a slow subarray (Section 8.3)
+		SlowSubarrayMM2:  0.052, // ~64 subarrays x 16 banks ~= 89% of die
+	}
+}
+
+// FIGAROOverhead reports the DRAM-side area and power cost of the FIGARO
+// substrate modifications (per-subarray MUXes and latch).
+type FIGAROOverhead struct {
+	PerSubarrayAreaUM2 float64
+	PerSubarrayPowerUW float64
+	TotalAreaMM2       float64
+	ChipAreaPercent    float64
+}
+
+// ComputeFIGAROOverhead evaluates the Section 8.3 figures for a geometry.
+func ComputeFIGAROOverhead(p OverheadParams, geo dram.Geometry) FIGAROOverhead {
+	perArea := p.ColMuxAreaUM2 + p.RowMuxAreaUM2 + p.RowLatchAreaUM2
+	perPower := p.ColMuxPowerUW + p.RowMuxPowerUW + p.RowLatchPowerUW
+	subarrays := geo.BanksPerRank() * (geo.SubarraysPerBank + geo.FastSubarrays)
+	total := perArea * float64(subarrays) / 1e6 // um^2 -> mm^2
+	return FIGAROOverhead{
+		PerSubarrayAreaUM2: perArea,
+		PerSubarrayPowerUW: perPower,
+		TotalAreaMM2:       total,
+		ChipAreaPercent:    total / p.ChipAreaMM2 * 100,
+	}
+}
+
+// CacheAreaOverheadPercent returns the chip-area overhead of adding
+// fastSubarrays fast subarrays per bank, each costing FastSubarrayArea of
+// a slow subarray (Section 8.3: 0.7% for FIGCache-Fast's two, 5.6% for
+// LISA-VILLA's sixteen).
+func CacheAreaOverheadPercent(p OverheadParams, geo dram.Geometry, fastSubarrays int) float64 {
+	added := float64(geo.BanksPerRank()*fastSubarrays) * p.FastSubarrayArea * p.SlowSubarrayMM2
+	return added / p.ChipAreaMM2 * 100
+}
+
+// FTSOverhead describes the memory-controller tag-store cost
+// (Section 8.3).
+type FTSOverhead struct {
+	TagBits      int
+	EntryBits    int
+	EntriesPerCh int
+	TotalKB      float64
+}
+
+// ComputeFTSOverhead sizes the FIGCache tag store for a geometry: one
+// portion per bank with one entry per cache slot; each entry holds the
+// segment tag, a 5-bit benefit counter, and valid + dirty bits. For the
+// paper's configuration (512 entries x 16 banks, 26-bit entries) this is
+// ~26 kB per channel.
+func ComputeFTSOverhead(geo dram.Geometry, cacheRowsPerBank, segmentBlocks, benefitBits int) (FTSOverhead, error) {
+	if cacheRowsPerBank <= 0 || segmentBlocks <= 0 || benefitBits <= 0 {
+		return FTSOverhead{}, fmt.Errorf("spice: FTS parameters must be positive")
+	}
+	segsPerRow := geo.BlocksPerRow() / segmentBlocks
+	if segsPerRow == 0 {
+		return FTSOverhead{}, fmt.Errorf("spice: segment larger than a row")
+	}
+	segmentsPerBank := geo.RowsPerBank() * segsPerRow
+	tagBits := bitsFor(segmentsPerBank)
+	entryBits := tagBits + benefitBits + 2 // + valid + dirty
+	entries := geo.BanksPerRank() * cacheRowsPerBank * segsPerRow
+	totalBits := entries * entryBits
+	return FTSOverhead{
+		TagBits:      tagBits,
+		EntryBits:    entryBits,
+		EntriesPerCh: entries,
+		TotalKB:      float64(totalBits) / 8 / 1024,
+	}, nil
+}
+
+// bitsFor returns ceil(log2(n)).
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

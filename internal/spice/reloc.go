@@ -1,0 +1,174 @@
+// Package spice provides analytic circuit-level models standing in for
+// the paper's SPICE methodology (Section 4.2): the RELOC charge-sharing
+// and sense-amplification transient that determines the RELOC latency
+// (Figure 5), with Monte-Carlo parameter variation and worst-case
+// reporting, plus the area/storage overhead calculations of Section 8.3.
+//
+// The model is a first-order RC + regenerative-latch approximation rather
+// than transistor-level SPICE. It is calibrated so the nominal transient
+// reproduces the paper's observations: the destination bitlines settle in
+// well under 1 ns, the worst Monte-Carlo corner is ~0.57 ns, and a 43%
+// guardband yields the 1 ns RELOC timing parameter.
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// RelocParams are the circuit parameters of the LRB -> GRB -> LRB path.
+type RelocParams struct {
+	VDD float64 // supply voltage (V)
+
+	// TauShare is the RC time constant of charge sharing from the driven
+	// global bitline into the precharged destination local bitline (ns).
+	TauShare float64
+	// TauRegen is the regeneration time constant of the destination sense
+	// amplifier assisted by the high-drive GRB (ns).
+	TauRegen float64
+	// SenseDelta is the bitline differential (V) at which the destination
+	// sense amplifier engages.
+	SenseDelta float64
+	// SettleFrac is the fraction of VDD at which the destination bitline
+	// counts as fully driven.
+	SettleFrac float64
+	// TimeStep is the simulation step (ns).
+	TimeStep float64
+}
+
+// DefaultRelocParams returns parameters calibrated to the paper's 22 nm
+// DRAM model.
+func DefaultRelocParams() RelocParams {
+	return RelocParams{
+		VDD:        1.2,
+		TauShare:   0.35,
+		TauRegen:   0.18,
+		SenseDelta: 0.05,
+		SettleFrac: 0.95,
+		TimeStep:   0.001,
+	}
+}
+
+// Validate reports parameter errors.
+func (p RelocParams) Validate() error {
+	switch {
+	case p.VDD <= 0:
+		return fmt.Errorf("spice: VDD must be positive")
+	case p.TauShare <= 0 || p.TauRegen <= 0:
+		return fmt.Errorf("spice: time constants must be positive")
+	case p.SenseDelta <= 0 || p.SenseDelta >= p.VDD/2:
+		return fmt.Errorf("spice: sense delta must be in (0, VDD/2)")
+	case p.SettleFrac <= 0.5 || p.SettleFrac >= 1:
+		return fmt.Errorf("spice: settle fraction must be in (0.5, 1)")
+	case p.TimeStep <= 0:
+		return fmt.Errorf("spice: time step must be positive")
+	}
+	return nil
+}
+
+// TracePoint is one sample of the RELOC transient.
+type TracePoint struct {
+	TimeNS float64
+	SrcV   float64 // source-column bitline voltage
+	DstV   float64 // destination-column bitline voltage
+}
+
+// Transient simulates the RELOC bitline transient for a source column
+// holding logic 1, returning the waveform and the settle time: the time
+// at which the destination bitline reaches SettleFrac x VDD.
+//
+// Phase 1 (charge sharing): the fully driven source bitline shares charge
+// through the GRB with the precharged (VDD/2) destination bitline; the
+// source dips while the destination rises.
+// Phase 2 (regeneration): once the destination differential exceeds
+// SenseDelta, the destination sense amplifier engages and, assisted by
+// the GRB's drive strength, regenerates both columns to full rail.
+func Transient(p RelocParams) (trace []TracePoint, settleNS float64, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	src := p.VDD
+	dst := p.VDD / 2
+	settleNS = -1
+	regen := false
+	for t := 0.0; t < 5.0; t += p.TimeStep {
+		trace = append(trace, TracePoint{TimeNS: t, SrcV: src, DstV: dst})
+		if settleNS < 0 && dst >= p.SettleFrac*p.VDD {
+			settleNS = t
+			break
+		}
+		if !regen && dst-p.VDD/2 >= p.SenseDelta {
+			regen = true
+		}
+		if regen {
+			// Regenerative pull to the rails, GRB-assisted.
+			dst += (p.VDD - dst) / p.TauRegen * p.TimeStep
+			src += (p.VDD - src) / p.TauRegen * p.TimeStep
+		} else {
+			// Charge sharing: source dips toward the midpoint while the
+			// destination rises toward the source.
+			diff := src - dst
+			dst += diff / p.TauShare * p.TimeStep * 0.5
+			src -= diff / p.TauShare * p.TimeStep * 0.20
+		}
+	}
+	if settleNS < 0 {
+		return trace, 0, fmt.Errorf("spice: destination bitline never settled")
+	}
+	return trace, settleNS, nil
+}
+
+// MonteCarlo runs iterations of Transient with every parameter varied
+// uniformly within +/-margin (e.g. 0.05 for the paper's +/-5%), returning
+// the worst-case (largest) settle time. The PRNG is deterministic per
+// seed. The paper runs 10^8 iterations; callers choose a tractable count.
+func MonteCarlo(p RelocParams, iterations int, margin float64, seed uint64) (worstNS float64, err error) {
+	if iterations <= 0 {
+		return 0, fmt.Errorf("spice: iterations must be positive")
+	}
+	if margin < 0 || margin >= 0.5 {
+		return 0, fmt.Errorf("spice: margin must be in [0, 0.5)")
+	}
+	rng := seed
+	next := func() float64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	vary := func(v float64) float64 { return v * (1 + margin*(2*next()-1)) }
+	for i := 0; i < iterations; i++ {
+		q := p
+		q.TauShare = vary(p.TauShare)
+		q.TauRegen = vary(p.TauRegen)
+		q.SenseDelta = vary(p.SenseDelta)
+		q.VDD = vary(p.VDD)
+		_, settle, err := Transient(q)
+		if err != nil {
+			return 0, err
+		}
+		if settle > worstNS {
+			worstNS = settle
+		}
+	}
+	return worstNS, nil
+}
+
+// GuardbandedLatencyNS applies the paper's conservative 43% guardband to
+// a worst-case settle time and rounds up to the next 0.5 ns, yielding the
+// RELOC timing parameter (1 ns for the paper's 0.57 ns worst case).
+func GuardbandedLatencyNS(worstNS float64) float64 {
+	g := worstNS * 1.43
+	return math.Ceil(g*2) / 2
+}
+
+// StandaloneRelocNS returns the end-to-end latency of relocating one
+// column when neither row is open (Section 4.2): two ACTIVATEs (tRCD at
+// 13.75 ns each... the paper counts full tRAS for the first), one RELOC
+// and one PRECHARGE. With tRAS = 35 ns, tRCD = 13.75 ns, tRP = 13.75 ns
+// and RELOC = 1 ns the paper reports 63.5 ns.
+func StandaloneRelocNS(tRASNS, tRCDNS, tRPNS, relocNS float64) float64 {
+	return tRASNS + relocNS + tRCDNS + tRPNS
+}

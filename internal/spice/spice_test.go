@@ -1,0 +1,184 @@
+package spice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func TestTransientShapeMatchesFigure5(t *testing.T) {
+	p := DefaultRelocParams()
+	trace, settle, err := Transient(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The destination settles in well under 1 ns (Figure 5 shows < 1 ns).
+	if settle <= 0 || settle >= 1.0 {
+		t.Fatalf("settle time = %.3f ns, want (0, 1)", settle)
+	}
+	// Shape checks: the destination starts at VDD/2 and rises
+	// monotonically-ish to ~VDD; the source dips below VDD early on.
+	first, last := trace[0], trace[len(trace)-1]
+	if first.DstV != p.VDD/2 {
+		t.Errorf("destination starts at %.3f, want VDD/2 = %.3f", first.DstV, p.VDD/2)
+	}
+	if last.DstV < p.SettleFrac*p.VDD {
+		t.Errorf("destination ends at %.3f, below settle threshold", last.DstV)
+	}
+	dipped := false
+	for _, pt := range trace {
+		if pt.SrcV < p.VDD-0.01 {
+			dipped = true
+			break
+		}
+	}
+	if !dipped {
+		t.Error("source bitline never dipped during charge sharing")
+	}
+}
+
+func TestTransientRejectsBadParams(t *testing.T) {
+	cases := []func(*RelocParams){
+		func(p *RelocParams) { p.VDD = 0 },
+		func(p *RelocParams) { p.TauShare = -1 },
+		func(p *RelocParams) { p.SenseDelta = 2 },
+		func(p *RelocParams) { p.SettleFrac = 0.4 },
+		func(p *RelocParams) { p.TimeStep = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultRelocParams()
+		mutate(&p)
+		if _, _, err := Transient(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMonteCarloWorstCase(t *testing.T) {
+	p := DefaultRelocParams()
+	_, nominal, err := Transient(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := MonteCarlo(p, 2000, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < nominal {
+		t.Errorf("worst case %.3f ns below nominal %.3f ns", worst, nominal)
+	}
+	// Section 4.2: the worst case is ~0.57 ns.
+	if worst < 0.3 || worst > 0.8 {
+		t.Errorf("worst case %.3f ns outside the paper's ~0.57 ns regime", worst)
+	}
+	// Guardbanded timing parameter is 1 ns.
+	if got := GuardbandedLatencyNS(worst); got != 1.0 {
+		t.Errorf("guardbanded latency = %.2f ns, want 1.0", got)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	p := DefaultRelocParams()
+	a, err := MonteCarlo(p, 500, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MonteCarlo(p, 500, 0.05, 42)
+	if a != b {
+		t.Errorf("Monte Carlo not deterministic: %.6f vs %.6f", a, b)
+	}
+}
+
+func TestMonteCarloRejectsBadArgs(t *testing.T) {
+	p := DefaultRelocParams()
+	if _, err := MonteCarlo(p, 0, 0.05, 1); err == nil {
+		t.Error("accepted zero iterations")
+	}
+	if _, err := MonteCarlo(p, 10, 0.6, 1); err == nil {
+		t.Error("accepted margin >= 0.5")
+	}
+}
+
+func TestStandaloneRelocMatchesPaper(t *testing.T) {
+	// Section 4.2: two ACTIVATEs, one RELOC, one PRECHARGE = 63.5 ns.
+	got := StandaloneRelocNS(35, 13.75, 13.75, 1)
+	if got != 63.5 {
+		t.Errorf("standalone relocation = %.2f ns, want 63.5", got)
+	}
+}
+
+func TestFIGAROOverheadUnderPaperBound(t *testing.T) {
+	p := DefaultOverheadParams()
+	geo := dram.Default()
+	geo.FastSubarrays = 2
+	o := ComputeFIGAROOverhead(p, geo)
+	if o.PerSubarrayAreaUM2 != 4.7+18.8+35.2 {
+		t.Errorf("per-subarray area = %.1f", o.PerSubarrayAreaUM2)
+	}
+	// Section 8.3: overall area overhead below 0.3% of the chip.
+	if o.ChipAreaPercent <= 0 || o.ChipAreaPercent >= 0.3 {
+		t.Errorf("FIGARO area overhead = %.3f%%, want (0, 0.3)", o.ChipAreaPercent)
+	}
+}
+
+func TestCacheAreaOverheads(t *testing.T) {
+	p := DefaultOverheadParams()
+	geo := dram.Default()
+	// Section 8.3: two fast subarrays -> 0.7%; sixteen -> 5.6%.
+	fig := CacheAreaOverheadPercent(p, geo, 2)
+	lisa := CacheAreaOverheadPercent(p, geo, 16)
+	if fig < 0.3 || fig > 1.2 {
+		t.Errorf("FIGCache-Fast area overhead = %.2f%%, want ~0.7%%", fig)
+	}
+	if lisa < 3.5 || lisa > 8 {
+		t.Errorf("LISA-VILLA area overhead = %.2f%%, want ~5.6%%", lisa)
+	}
+	if lisa <= fig*7 {
+		t.Errorf("LISA overhead (%.2f%%) not ~8x FIGCache's (%.2f%%)", lisa, fig)
+	}
+}
+
+func TestFTSOverheadMatchesPaperScale(t *testing.T) {
+	geo := dram.Default()
+	o, err := ComputeFTSOverhead(geo, 64, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32K rows x 8 segments = 256K segments per bank -> 18-bit tag.
+	if o.TagBits != 18 {
+		t.Errorf("tag bits = %d, want 18", o.TagBits)
+	}
+	// 512 entries per bank x 16 banks.
+	if o.EntriesPerCh != 512*16 {
+		t.Errorf("entries = %d, want 8192", o.EntriesPerCh)
+	}
+	// Paper reports 26.0 kB with a 19-bit tag; our computed 18-bit tag
+	// gives 25 kB. Same scale.
+	if o.TotalKB < 20 || o.TotalKB > 30 {
+		t.Errorf("FTS storage = %.1f kB, want ~25-26 kB", o.TotalKB)
+	}
+}
+
+func TestFTSOverheadRejectsBad(t *testing.T) {
+	geo := dram.Default()
+	if _, err := ComputeFTSOverhead(geo, 0, 16, 5); err == nil {
+		t.Error("accepted zero cache rows")
+	}
+	if _, err := ComputeFTSOverhead(geo, 64, 1024, 5); err == nil {
+		t.Error("accepted segment larger than a row")
+	}
+}
+
+// Property: the guardbanded latency is always at least the worst case and
+// at most worst*1.43 rounded up to the next half nanosecond.
+func TestPropertyGuardband(t *testing.T) {
+	f := func(w uint16) bool {
+		worst := float64(w%2000)/1000 + 0.01 // 0.01 .. 2.01 ns
+		g := GuardbandedLatencyNS(worst)
+		return g >= worst*1.43-1e-9 && g <= worst*1.43+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

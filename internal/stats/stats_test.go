@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g", got)
+	}
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almost(got, 2) {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean accepted non-positive value")
+		}
+	}()
+	GeoMean([]float64{1, -1})
+}
+
+func TestSpeedupGuardsZero(t *testing.T) {
+	if got := Speedup(0, 5); got != 0 {
+		t.Errorf("Speedup(0,5) = %g", got)
+	}
+	if got := Speedup(2, 3); !almost(got, 1.5) {
+		t.Errorf("Speedup = %g, want 1.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %g", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max not zero")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1.00")
+	tab.AddRow("a-much-longer-name", "2.50")
+	tab.AddNote("note %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== demo ==", "name", "a-much-longer-name", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns are aligned: every data line has the value starting at the
+	// same offset (line 0 = title, 1 = header, 2 = separator, 3+ = rows).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	idx1 := strings.Index(lines[3], "1.00")
+	idx2 := strings.Index(lines[4], "2.50")
+	if idx1 < 0 || idx2 < 0 || idx1 != idx2 {
+		// alpha row pads to the longer name, so offsets must match.
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestPctAndF(t *testing.T) {
+	if got := Pct(1.163); got != "+16.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.95); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+// Property: GeoMean of positive values lies between Min and Max.
+func TestPropertyGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mean is translation-equivariant.
+func TestPropertyMeanTranslation(t *testing.T) {
+	f := func(raw []int16, shift int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var xs, ys []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r))
+			ys = append(ys, float64(r)+float64(shift))
+		}
+		return math.Abs(Mean(ys)-Mean(xs)-float64(shift)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload synthesizes deterministic instruction traces that
+// statistically reproduce the memory behaviour the FIGARO paper's
+// benchmarks exhibit, and composes them into the paper's single-core,
+// eight-core multiprogrammed, and multithreaded workloads (Table 2,
+// Section 7).
+//
+// The paper drives its simulator with Pin traces of SPEC CPU2006, TPC,
+// MediaBench, the Memory Scheduling Championship and BioBench binaries.
+// Those traces are unavailable, so each benchmark is modelled by a
+// parameterized generator that reproduces the properties FIGCache's
+// behaviour depends on:
+//
+//   - memory intensity: LLC misses per kilo-instruction (>10 MPKI for the
+//     paper's "memory intensive" class);
+//   - segment-level reuse beyond SRAM reach: a Zipf-distributed hot set of
+//     1 kB row segments much larger than the LLC, so reuse hits DRAM;
+//   - limited row-buffer locality: hot segments are scattered so that a
+//     DRAM row rarely holds more than one of them, making whole-row
+//     caching wasteful (Section 3);
+//   - spatial locality inside a segment: short sequential block runs;
+//   - store traffic via a configurable write fraction.
+package workload
+
+import "fmt"
+
+// BenchSpec parameterizes the synthetic generator for one benchmark.
+type BenchSpec struct {
+	Name string
+	// MemIntensive mirrors Table 2's classification (>10 LLC MPKI).
+	MemIntensive bool
+
+	// Bubbles is the number of non-memory instructions between memory
+	// accesses: the main lever on memory intensity.
+	Bubbles int
+	// FootprintBytes is the total address range the benchmark touches.
+	FootprintBytes int64
+	// HotSegments is the size of the hot set, counted in 1 kB segments.
+	// Chosen well above the LLC so segment reuse reaches DRAM, and within
+	// FIGCache reach so caching can capture it. Hot segments are scattered
+	// one-per-DRAM-row (the paper's limited-row-locality regime) and
+	// visited by looping sweep streams, so segments accessed close in time
+	// are re-accessed close in time — the temporal correlation FIGCache's
+	// co-location exploits (Section 5.1).
+	HotSegments int
+	// Streams is the number of concurrent sweep streams over the hot set
+	// (modelling independent arrays/data structures).
+	Streams int
+	// ZipfTheta skews how often each stream is accessed (0 = uniform).
+	ZipfTheta float64
+	// HotFraction is the probability an access burst targets the hot set;
+	// the rest streams through the cold footprint.
+	HotFraction float64
+	// SeqRun is the number of consecutive blocks touched per burst
+	// (spatial locality within a segment).
+	SeqRun int
+	// WriteFrac is the fraction of memory accesses that are stores.
+	WriteFrac float64
+}
+
+// Validate reports parameter errors.
+func (b BenchSpec) Validate() error {
+	switch {
+	case b.Name == "":
+		return fmt.Errorf("workload: benchmark name empty")
+	case b.Bubbles < 0:
+		return fmt.Errorf("workload %s: bubbles must be non-negative", b.Name)
+	case b.FootprintBytes < segmentBytes:
+		return fmt.Errorf("workload %s: footprint %d below one segment", b.Name, b.FootprintBytes)
+	case b.HotSegments <= 0:
+		return fmt.Errorf("workload %s: hot segments must be positive", b.Name)
+	case b.Streams <= 0 || b.Streams > b.HotSegments:
+		return fmt.Errorf("workload %s: streams must be in [1,%d], got %d", b.Name, b.HotSegments, b.Streams)
+	case b.ZipfTheta < 0 || b.ZipfTheta >= 1:
+		return fmt.Errorf("workload %s: zipf theta must be in [0,1), got %g", b.Name, b.ZipfTheta)
+	case b.HotFraction < 0 || b.HotFraction > 1:
+		return fmt.Errorf("workload %s: hot fraction must be in [0,1], got %g", b.Name, b.HotFraction)
+	case b.SeqRun <= 0 || b.SeqRun > segmentBytes/blockBytes:
+		return fmt.Errorf("workload %s: seq run must be in [1,%d], got %d", b.Name, segmentBytes/blockBytes, b.SeqRun)
+	case b.WriteFrac < 0 || b.WriteFrac > 1:
+		return fmt.Errorf("workload %s: write fraction must be in [0,1], got %g", b.Name, b.WriteFrac)
+	}
+	return nil
+}
+
+const (
+	blockBytes   = 64
+	segmentBytes = 1024 // the paper's default row segment (1/8 of 8 kB)
+)
+
+// The twenty single-thread benchmarks of Table 2. The intensive class
+// uses small bubble counts and DRAM-sized hot sets; the non-intensive
+// class mostly fits in the SRAM hierarchy. Parameters vary per benchmark
+// so the population covers a range of intensities and localities.
+var specs = []BenchSpec{
+	// Memory intensive (Table 2, top row). Hot sets are sized between the
+	// per-core LLC share (~2 MB) and the per-core in-DRAM cache reach
+	// (~4-8 MB): segment reuse escapes SRAM but is capturable by FIGCache,
+	// the regime the paper's intensive applications occupy (their working
+	// sets exceed the LLC but their hot rows fit the in-DRAM cache).
+	{Name: "zeusmp", MemIntensive: true, Bubbles: 54, FootprintBytes: 512 << 20, HotSegments: 2304, Streams: 2, ZipfTheta: 0.60, HotFraction: 0.90, SeqRun: 2, WriteFrac: 0.25},
+	{Name: "leslie3d", MemIntensive: true, Bubbles: 66, FootprintBytes: 384 << 20, HotSegments: 2176, Streams: 2, ZipfTheta: 0.55, HotFraction: 0.88, SeqRun: 4, WriteFrac: 0.30},
+	{Name: "mcf", MemIntensive: true, Bubbles: 36, FootprintBytes: 1024 << 20, HotSegments: 2944, Streams: 2, ZipfTheta: 0.70, HotFraction: 0.93, SeqRun: 1, WriteFrac: 0.15},
+	{Name: "GemsFDTD", MemIntensive: true, Bubbles: 60, FootprintBytes: 768 << 20, HotSegments: 2560, Streams: 2, ZipfTheta: 0.50, HotFraction: 0.88, SeqRun: 4, WriteFrac: 0.35},
+	{Name: "libquantum", MemIntensive: true, Bubbles: 48, FootprintBytes: 256 << 20, HotSegments: 2240, Streams: 2, ZipfTheta: 0.40, HotFraction: 0.86, SeqRun: 6, WriteFrac: 0.20},
+	{Name: "bwaves", MemIntensive: true, Bubbles: 72, FootprintBytes: 512 << 20, HotSegments: 2368, Streams: 2, ZipfTheta: 0.55, HotFraction: 0.88, SeqRun: 4, WriteFrac: 0.30},
+	{Name: "lbm", MemIntensive: true, Bubbles: 42, FootprintBytes: 448 << 20, HotSegments: 2432, Streams: 2, ZipfTheta: 0.45, HotFraction: 0.86, SeqRun: 5, WriteFrac: 0.40},
+	{Name: "com", MemIntensive: true, Bubbles: 45, FootprintBytes: 640 << 20, HotSegments: 2688, Streams: 2, ZipfTheta: 0.65, HotFraction: 0.90, SeqRun: 2, WriteFrac: 0.20},
+	{Name: "tigr", MemIntensive: true, Bubbles: 39, FootprintBytes: 896 << 20, HotSegments: 2880, Streams: 2, ZipfTheta: 0.68, HotFraction: 0.92, SeqRun: 1, WriteFrac: 0.10},
+	{Name: "mum", MemIntensive: true, Bubbles: 51, FootprintBytes: 768 << 20, HotSegments: 2624, Streams: 2, ZipfTheta: 0.62, HotFraction: 0.90, SeqRun: 2, WriteFrac: 0.12},
+
+	// Memory non-intensive (Table 2, bottom row).
+	{Name: "h264ref", MemIntensive: false, Bubbles: 180, FootprintBytes: 64 << 20, HotSegments: 2304, Streams: 2, ZipfTheta: 0.80, HotFraction: 0.92, SeqRun: 4, WriteFrac: 0.25},
+	{Name: "bzip2", MemIntensive: false, Bubbles: 140, FootprintBytes: 96 << 20, HotSegments: 2432, Streams: 2, ZipfTheta: 0.75, HotFraction: 0.90, SeqRun: 3, WriteFrac: 0.30},
+	{Name: "gromacs", MemIntensive: false, Bubbles: 220, FootprintBytes: 48 << 20, HotSegments: 2240, Streams: 2, ZipfTheta: 0.80, HotFraction: 0.92, SeqRun: 4, WriteFrac: 0.25},
+	{Name: "gcc", MemIntensive: false, Bubbles: 160, FootprintBytes: 128 << 20, HotSegments: 2560, Streams: 2, ZipfTheta: 0.78, HotFraction: 0.90, SeqRun: 2, WriteFrac: 0.30},
+	{Name: "bfssandy", MemIntensive: false, Bubbles: 120, FootprintBytes: 192 << 20, HotSegments: 2688, Streams: 2, ZipfTheta: 0.72, HotFraction: 0.85, SeqRun: 1, WriteFrac: 0.10},
+	{Name: "grep", MemIntensive: false, Bubbles: 130, FootprintBytes: 64 << 20, HotSegments: 2368, Streams: 2, ZipfTheta: 0.70, HotFraction: 0.85, SeqRun: 5, WriteFrac: 0.05},
+	{Name: "wc-8443", MemIntensive: false, Bubbles: 200, FootprintBytes: 32 << 20, HotSegments: 2176, Streams: 2, ZipfTheta: 0.80, HotFraction: 0.95, SeqRun: 6, WriteFrac: 0.10},
+	{Name: "sjeng", MemIntensive: false, Bubbles: 240, FootprintBytes: 48 << 20, HotSegments: 2240, Streams: 2, ZipfTheta: 0.82, HotFraction: 0.95, SeqRun: 1, WriteFrac: 0.20},
+	{Name: "tpcc64", MemIntensive: false, Bubbles: 110, FootprintBytes: 256 << 20, HotSegments: 2816, Streams: 2, ZipfTheta: 0.75, HotFraction: 0.88, SeqRun: 2, WriteFrac: 0.35},
+	{Name: "tpch2", MemIntensive: false, Bubbles: 120, FootprintBytes: 192 << 20, HotSegments: 2624, Streams: 2, ZipfTheta: 0.74, HotFraction: 0.88, SeqRun: 3, WriteFrac: 0.15},
+}
+
+// Multithreaded applications (Section 7: canneal and fluidanimate from
+// PARSEC, radix from SPLASH-2): all threads share one footprint.
+var multithreaded = []BenchSpec{
+	{Name: "canneal", MemIntensive: true, Bubbles: 42, FootprintBytes: 1024 << 20, HotSegments: 12 << 10, Streams: 2, ZipfTheta: 0.65, HotFraction: 0.88, SeqRun: 1, WriteFrac: 0.20},
+	{Name: "fluidanimate", MemIntensive: true, Bubbles: 78, FootprintBytes: 512 << 20, HotSegments: 10 << 10, Streams: 2, ZipfTheta: 0.55, HotFraction: 0.80, SeqRun: 3, WriteFrac: 0.30},
+	{Name: "radix", MemIntensive: true, Bubbles: 48, FootprintBytes: 768 << 20, HotSegments: 12 << 10, Streams: 2, ZipfTheta: 0.50, HotFraction: 0.78, SeqRun: 4, WriteFrac: 0.35},
+}
+
+// Benchmarks returns the twenty single-thread benchmark specs of Table 2.
+func Benchmarks() []BenchSpec {
+	out := make([]BenchSpec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// Multithreaded returns the three multithreaded application specs.
+func Multithreaded() []BenchSpec {
+	out := make([]BenchSpec, len(multithreaded))
+	copy(out, multithreaded)
+	return out
+}
+
+// ByName returns the spec for a benchmark (single-thread or
+// multithreaded).
+func ByName(name string) (BenchSpec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range multithreaded {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return BenchSpec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Intensive returns the memory-intensive subset of Benchmarks.
+func Intensive() []BenchSpec {
+	var out []BenchSpec
+	for _, s := range specs {
+		if s.MemIntensive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NonIntensive returns the memory-non-intensive subset of Benchmarks.
+func NonIntensive() []BenchSpec {
+	var out []BenchSpec
+	for _, s := range specs {
+		if !s.MemIntensive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
