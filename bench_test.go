@@ -28,10 +28,13 @@ func benchScale() harness.Scale {
 	}
 }
 
-// runTable executes one harness experiment per b.N iteration.
+// runTable executes one harness experiment per b.N iteration and reports
+// the simulator's cycle throughput next to wall-clock time.
 func runTable(b *testing.B, f func(*harness.Runner) (*stats.Table, error)) *stats.Table {
 	b.Helper()
 	var tab *stats.Table
+	var simCycles int64
+	var simWall float64
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchScale())
 		var err error
@@ -39,6 +42,11 @@ func runTable(b *testing.B, f func(*harness.Runner) (*stats.Table, error)) *stat
 		if err != nil {
 			b.Fatal(err)
 		}
+		simCycles += r.SimCycles()
+		simWall += r.SimWallSeconds()
+	}
+	if simWall > 0 && simCycles > 0 {
+		b.ReportMetric(float64(simCycles)/simWall, "sim-cycles/s")
 	}
 	return tab
 }
@@ -142,7 +150,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
 	b.ResetTimer()
-	var insts int64
+	var insts, cycles int64
 	for i := 0; i < b.N; i++ {
 		cfg := sim.DefaultConfig(sim.Base, mix)
 		cfg.TargetInsts = 50_000
@@ -155,6 +163,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		insts += res.TotalInsts
+		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkEngineComparison pits the cycle-skipping engine against the
+// dense reference loop on the same memory-intensive Base run, so the
+// speedup is visible directly in the benchmark output.
+func BenchmarkEngineComparison(b *testing.B) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	for _, eng := range []struct {
+		name  string
+		dense bool
+	}{{"skipping", false}, {"dense", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(sim.Base, mix)
+				cfg.TargetInsts = 50_000
+				cfg.DenseLoop = eng.dense
+				system, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := system.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
 }

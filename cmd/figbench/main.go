@@ -102,6 +102,10 @@ func main() {
 		fmt.Println(tab.Render())
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
 	}
+	if cps := r.SimCyclesPerSecond(); cps > 0 {
+		fmt.Printf("simulator throughput: %d cycles in %.1fs of simulation (%.2fM sim-cycles/s)\n",
+			r.SimCycles(), r.SimWallSeconds(), cps/1e6)
+	}
 }
 
 func usage() {

@@ -66,17 +66,31 @@ type mshr struct {
 	// markDirty records that a write merged into this outstanding fetch,
 	// so the filled line starts dirty.
 	markDirty bool
+
+	// startFn issues the downstream fetch after the lookup latency;
+	// fillFn installs the block when the fetch returns. Both are bound
+	// once when the MSHR is first created and capture only the MSHR, so
+	// recycling it through the cache's free list avoids the two closure
+	// allocations every miss would otherwise pay.
+	c       *Cache
+	startFn func(now int64)
+	fillFn  func(now int64)
 }
 
 // Cache is one cache level.
 type Cache struct {
-	cfg    Config
-	sets   [][]line
-	setsN  uint64
-	shift  uint
-	next   Backend
-	sched  Scheduler
+	cfg   Config
+	sets  [][]line
+	setsN uint64
+	shift uint
+	next  Backend
+	sched Scheduler
+	// Outstanding misses: bounded levels (MSHRs > 0, the per-core L1s)
+	// keep them in a small slice scanned linearly, which beats map
+	// overhead at Table 1's 8 entries; unbounded levels use the map.
 	mshrs  map[uint64]*mshr
+	active []*mshr
+	free   []*mshr // recycled MSHRs, callbacks already bound
 	clock  int64
 	coreID int // reported downstream for per-core accounting
 
@@ -100,16 +114,23 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 		setsN:  uint64(setsN),
 		next:   next,
 		sched:  sched,
-		mshrs:  make(map[uint64]*mshr),
 		coreID: coreID,
+	}
+	if cfg.MSHRs > 0 {
+		c.active = make([]*mshr, 0, cfg.MSHRs)
+	} else {
+		c.mshrs = make(map[uint64]*mshr)
 	}
 	shift := uint(0)
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		shift++
 	}
 	c.shift = shift
+	// One flat backing array for all sets: a single allocation instead of
+	// one per set, which dominates construction cost for large caches.
+	flat := make([]line, setsN*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = flat[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c, nil
 }
@@ -155,7 +176,7 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 
 	// Miss. Merge into an outstanding fetch of the same block if any.
 	blk := c.blockAddr(addr)
-	if m, ok := c.mshrs[blk]; ok {
+	if m := c.findMSHR(blk); m != nil {
 		c.MSHRMerges++
 		c.Misses++
 		if isWrite {
@@ -166,21 +187,107 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 		}
 		return true
 	}
-	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
+	if c.cfg.MSHRs > 0 && len(c.active) >= c.cfg.MSHRs {
 		c.MSHRFullStalls++
 		return false
 	}
 	c.Misses++
-	m := &mshr{blockAddr: blk, markDirty: isWrite}
+	m := c.newMSHR(blk, isWrite)
 	if onDone != nil {
 		m.waiters = append(m.waiters, onDone)
 	}
-	c.mshrs[blk] = m
+	c.addMSHR(m)
 	// Fetch after the lookup latency (miss detection time).
-	c.sched.After(c.cfg.Latency, func(now int64) {
-		c.next.Request(blk, false, c.coreID, func(fillAt int64) { c.fill(blk) })
-	})
+	c.sched.After(c.cfg.Latency, m.startFn)
 	return true
+}
+
+// findMSHR returns the outstanding miss for blk, or nil.
+func (c *Cache) findMSHR(blk uint64) *mshr {
+	if c.mshrs == nil {
+		for _, m := range c.active {
+			if m.blockAddr == blk {
+				return m
+			}
+		}
+		return nil
+	}
+	return c.mshrs[blk]
+}
+
+// addMSHR registers an outstanding miss.
+func (c *Cache) addMSHR(m *mshr) {
+	if c.mshrs == nil {
+		c.active = append(c.active, m)
+		return
+	}
+	c.mshrs[m.blockAddr] = m
+}
+
+// removeMSHR unregisters and returns the outstanding miss for blk.
+func (c *Cache) removeMSHR(blk uint64) *mshr {
+	if c.mshrs == nil {
+		for i, m := range c.active {
+			if m.blockAddr == blk {
+				last := len(c.active) - 1
+				c.active[i] = c.active[last]
+				c.active[last] = nil
+				c.active = c.active[:last]
+				return m
+			}
+		}
+		return nil
+	}
+	m := c.mshrs[blk]
+	delete(c.mshrs, blk)
+	return m
+}
+
+// AccountRefused credits n refused Access attempts to the statistics:
+// the dense run loop retries a blocked access every cycle (each retry
+// bumping the access counters and MSHR-full stalls), so the cycle-
+// skipping engine calls this for the retries it skipped, keeping the
+// diagnostic counters engine-independent.
+func (c *Cache) AccountRefused(isWrite bool, n int64) {
+	c.clock += n
+	if isWrite {
+		c.WriteAcc += n
+	} else {
+		c.ReadAcc += n
+	}
+	c.MSHRFullStalls += n
+}
+
+// newMSHR pops a recycled MSHR or builds one with its callbacks bound.
+func (c *Cache) newMSHR(blk uint64, markDirty bool) *mshr {
+	if n := len(c.free); n > 0 {
+		m := c.free[n-1]
+		c.free = c.free[:n-1]
+		m.blockAddr = blk
+		m.markDirty = markDirty
+		return m
+	}
+	m := &mshr{blockAddr: blk, markDirty: markDirty, c: c}
+	m.startFn = func(int64) { m.c.next.Request(m.blockAddr, false, m.c.coreID, m.fillFn) }
+	m.fillFn = func(int64) { m.c.fill(m.blockAddr) }
+	return m
+}
+
+// CanAccept reports whether Access(addr, ...) would be accepted this
+// cycle, without performing it: a hit, a merge into an outstanding fetch
+// of the same block, or a free MSHR. It has no side effects, so the core
+// model can probe whether issuing is possible before spending a cycle.
+func (c *Cache) CanAccept(addr uint64) bool {
+	setIdx, tag := c.setAndTag(addr)
+	for i := range c.sets[setIdx] {
+		if c.sets[setIdx][i].valid && c.sets[setIdx][i].tag == tag {
+			return true
+		}
+	}
+	if c.findMSHR(c.blockAddr(addr)) != nil {
+		return true
+	}
+	return c.cfg.MSHRs == 0 || len(c.active) < c.cfg.MSHRs
 }
 
 // fill installs a fetched block, evicting the LRU way (write-back if
@@ -204,12 +311,14 @@ func (c *Cache) fill(blk uint64) {
 		c.next.Request(victimAddr, true, c.coreID, nil)
 	}
 	c.clock++
-	m := c.mshrs[blk]
+	m := c.removeMSHR(blk)
 	set[victim] = line{tag: tag, valid: true, dirty: m.markDirty, lru: c.clock}
-	delete(c.mshrs, blk)
-	for _, w := range m.waiters {
+	for i, w := range m.waiters {
 		c.sched.After(0, w)
+		m.waiters[i] = nil
 	}
+	m.waiters = m.waiters[:0]
+	c.free = append(c.free, m)
 }
 
 // Request implements Backend, so a Cache can serve as the next level of
@@ -235,4 +344,9 @@ func (c *Cache) MissRate() float64 {
 func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }
 
 // OutstandingMisses returns the number of allocated MSHRs.
-func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+func (c *Cache) OutstandingMisses() int {
+	if c.mshrs == nil {
+		return len(c.active)
+	}
+	return len(c.mshrs)
+}

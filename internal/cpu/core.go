@@ -9,6 +9,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 )
@@ -66,6 +67,13 @@ type Core struct {
 	tail  int
 	count int
 
+	// issueEp[i] is the epoch the in-flight load in slot i was issued
+	// with, and onDone[i] its completion callback. The callbacks are
+	// created once per slot at construction (each captures only its slot
+	// index), so issuing a load does not allocate a closure.
+	issueEp []int64
+	onDone  []func(now int64)
+
 	pending    TraceRecord
 	hasPending bool
 
@@ -90,15 +98,26 @@ func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int
 	if trace == nil || l1 == nil {
 		return nil, fmt.Errorf("cpu: trace and l1 must be non-nil")
 	}
-	return &Core{
+	c := &Core{
 		ID:          id,
 		cfg:         cfg,
 		trace:       trace,
 		l1:          l1,
 		done:        make([]bool, cfg.WindowSize),
 		epoch:       make([]int64, cfg.WindowSize),
+		issueEp:     make([]int64, cfg.WindowSize),
+		onDone:      make([]func(now int64), cfg.WindowSize),
 		TargetInsts: targetInsts,
-	}, nil
+	}
+	for i := range c.onDone {
+		slot := i
+		c.onDone[i] = func(int64) {
+			if c.epoch[slot] == c.issueEp[slot] {
+				c.done[slot] = true
+			}
+		}
+	}
+	return c, nil
 }
 
 // Done reports whether the core has retired its target instruction count.
@@ -157,13 +176,13 @@ func (c *Core) Tick(now int64) {
 			}
 			c.insert(true)
 		} else {
-			slot, ep := c.tail, c.epoch[c.tail]+1
-			ok := c.l1.Access(c.pending.Addr, false, func(int64) {
-				if c.epoch[slot] == ep {
-					c.done[slot] = true
-				}
-			})
-			if !ok {
+			// The completion callback is valid while the slot's epoch
+			// still matches the epoch recorded at issue; a late fire
+			// after the entry retired and the slot was reused finds a
+			// different epoch and is ignored.
+			slot := c.tail
+			c.issueEp[slot] = c.epoch[slot] + 1
+			if !c.l1.Access(c.pending.Addr, false, c.onDone[slot]) {
 				c.LoadStalls++
 				return
 			}
@@ -171,6 +190,44 @@ func (c *Core) Tick(now int64) {
 		}
 		c.hasPending = false
 	}
+}
+
+// NextWake returns the next CPU cycle at which Tick could make progress:
+// now+1 while the core can retire or issue, or math.MaxInt64 when it is
+// fully blocked (window head waiting on a fill, or the pending memory
+// access refused by the L1). A blocked core's state only changes through
+// scheduler events — a cache fill marking a window entry done or freeing
+// an L1 MSHR — so the run loop may skip it until the next event fires.
+func (c *Core) NextWake(now int64) int64 {
+	if c.count > 0 && c.done[c.head] {
+		return now + 1 // can retire
+	}
+	if c.count < c.cfg.WindowSize {
+		// Can issue: a buffered bubble always inserts; a fresh trace
+		// record is fetched optimistically (it may start with bubbles);
+		// a pending memory access issues iff the L1 would accept it.
+		if !c.hasPending || c.pending.Bubbles > 0 || c.l1.CanAccept(c.pending.Addr) {
+			return now + 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// AccountSkipped credits the stall counters for cycles the run loop
+// skipped while the core was fully blocked (NextWake == MaxInt64). The
+// dense loop would have ticked the core each of those cycles, recording
+// one window-full cycle, or one refused issue attempt (a load stall plus
+// an L1 retry), so the diagnostic statistics stay engine-independent.
+func (c *Core) AccountSkipped(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	if c.count >= c.cfg.WindowSize {
+		c.WindowFull += cycles
+		return
+	}
+	c.LoadStalls += cycles
+	c.l1.AccountRefused(c.pending.IsWrite, cycles)
 }
 
 // insert places one instruction at the window tail.

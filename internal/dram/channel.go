@@ -172,11 +172,14 @@ func (c *Channel) rankACTReady(rank int, now int64) int64 {
 
 func (c *Channel) noteACT(rank int, at int64) {
 	c.lastACT[rank] = at
-	hist := append(c.actTimes[rank], at)
-	if len(hist) > 8 {
-		hist = hist[len(hist)-8:]
+	// Keep the last 8 ACT times, sliding in place so the history stops
+	// allocating once it reaches capacity.
+	hist := c.actTimes[rank]
+	if len(hist) >= 8 {
+		copy(hist, hist[len(hist)-7:])
+		hist = hist[:7]
 	}
-	c.actTimes[rank] = hist
+	c.actTimes[rank] = append(hist, at)
 }
 
 // busReady returns the earliest cycle a column command of kind k can use
@@ -211,6 +214,23 @@ func (c *Channel) noteColumn(cmd Command, at, end int64) {
 		}
 		b.delayColumn(at+ccd, at+ccd)
 	}
+}
+
+// NextRefresh returns the earliest cycle at which RefreshDue will report
+// a due refresh: zero if one is already pending, otherwise the nearest
+// rank deadline. Refresh deadlines advance only when a REF issues, so the
+// value is stable between refreshes and lets the run loop skip idle time.
+func (c *Channel) NextRefresh() int64 {
+	next := int64(1<<63 - 1)
+	for r := range c.nextREF {
+		if c.refPending[r] {
+			return 0
+		}
+		if c.nextREF[r] < next {
+			next = c.nextREF[r]
+		}
+	}
+	return next
 }
 
 // RefreshDue reports whether a refresh is due for any rank at cycle now,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -48,6 +49,12 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[string]sim.Result
+	// simCycles accumulates the simulated CPU cycles of every computed
+	// run, and simWall the wall-clock spent inside simulation batches
+	// (excluding the circuit model and table rendering) — numerator and
+	// denominator of the SimCyclesPerSecond throughput metric.
+	simCycles int64
+	simWall   time.Duration
 }
 
 // NewRunner builds a runner for the scale.
@@ -91,6 +98,7 @@ func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 	r.mu.Unlock()
 
 	if len(todo) > 0 {
+		batchStart := time.Now()
 		sem := make(chan struct{}, r.scale.Parallelism)
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -118,18 +126,50 @@ func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 			}(j)
 		}
 		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
+		// Cache completed results even when some job failed, so a retry
+		// (e.g. at a larger scale) does not recompute the finished runs.
 		r.mu.Lock()
 		for _, j := range todo {
 			if res, ok := out[j.key]; ok {
 				r.cache[j.key] = res
+				r.simCycles += res.Cycles
 			}
 		}
+		r.simWall += time.Since(batchStart)
 		r.mu.Unlock()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
 	return out, nil
+}
+
+// SimCycles returns the total number of CPU cycles simulated by this
+// runner (cache hits excluded: each run is counted once, when computed).
+func (r *Runner) SimCycles() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simCycles
+}
+
+// SimWallSeconds returns the wall-clock seconds this runner spent inside
+// simulation batches (the circuit model and table rendering excluded).
+func (r *Runner) SimWallSeconds() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simWall.Seconds()
+}
+
+// SimCyclesPerSecond returns the runner's simulation throughput —
+// simulated CPU cycles per wall-clock second spent simulating: the
+// headline "how fast does the simulator run" metric the benchmarks and
+// cmd/figbench report.
+func (r *Runner) SimCyclesPerSecond() float64 {
+	s := r.SimWallSeconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.SimCycles()) / s
 }
 
 // keyFor builds a cache key from the run's distinguishing parameters.

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testRunner(t *testing.T) (*Runner, sim.Config) {
+	t.Helper()
+	r := NewRunner(Scale{Insts: 2_000, SingleApps: 1, MixesPerCategory: 1, MCIterations: 10, Parallelism: 1})
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	return r, r.baseConfig(sim.Base, mix)
+}
+
+// TestRunAllCachesSuccessesOnError verifies that completed runs survive a
+// failing sibling job, so retries do not recompute them.
+func TestRunAllCachesSuccessesOnError(t *testing.T) {
+	r, good := testRunner(t)
+	bad := good
+	bad.TargetInsts = -1 // rejected by sim.New
+
+	out, err := r.runAll([]job{{key: "good", cfg: good}, {key: "bad", cfg: bad}})
+	if err == nil {
+		t.Fatal("runAll accepted an invalid config")
+	}
+	if out != nil {
+		t.Errorf("runAll returned results alongside an error: %v", out)
+	}
+	r.mu.Lock()
+	cached, ok := r.cache["good"]
+	r.mu.Unlock()
+	if !ok {
+		t.Fatal("successful run was not cached when a sibling job failed")
+	}
+
+	// The retry must be served from the cache: no new simulated cycles.
+	cyclesBefore := r.SimCycles()
+	out2, err := r.runAll([]job{{key: "good", cfg: good}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out2["good"], cached) {
+		t.Error("retry returned a different result than the cached run")
+	}
+	if r.SimCycles() != cyclesBefore {
+		t.Errorf("retry recomputed a cached run (sim cycles %d -> %d)", cyclesBefore, r.SimCycles())
+	}
+}
+
+// TestRunAllDedupsJobs verifies that duplicate keys in one batch are
+// computed once.
+func TestRunAllDedupsJobs(t *testing.T) {
+	r, cfg := testRunner(t)
+	out, err := r.runAll([]job{{key: "k", cfg: cfg}, {key: "k", cfg: cfg}, {key: "k", cfg: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out["k"]
+	if !ok {
+		t.Fatal("no result for deduplicated key")
+	}
+	// SimCycles counts each computed run once; duplicates served from the
+	// same computation contribute exactly one run's cycles.
+	if got := r.SimCycles(); got != res.Cycles {
+		t.Errorf("sim cycles = %d, want %d (one computation for three identical jobs)", got, res.Cycles)
+	}
+}

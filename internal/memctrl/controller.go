@@ -1,6 +1,8 @@
 package memctrl
 
 import (
+	"math"
+
 	"repro/internal/dram"
 )
 
@@ -89,18 +91,29 @@ type Controller struct {
 	writeQ  *queue
 	writing bool // in write-drain mode
 
-	// pendingRelocs holds cache-insertion relocation plans per bank,
-	// deferred until the source row's useful life ends (conflict
-	// precharge, refresh precharge, or an idle tick). Deferring keeps the
-	// row open for queued row hits — the RELOCs only need the row in the
-	// local row buffer, and the controller schedules them when no column
-	// commands are pending (Section 8.1).
-	pendingRelocs map[int][]*RelocPlan
-	// lastColumn records each bank's last column-access cycle; the idle
-	// flush waits IdleFlushAfter cycles beyond it, so relocations do not
-	// close a row in the middle of a spatial burst whose next block is
-	// still working its way down the cache hierarchy.
-	lastColumn map[int]int64
+	// pendingRelocs holds cache-insertion relocation plans per bank
+	// (indexed by dense bank ID), deferred until the source row's useful
+	// life ends (conflict precharge, refresh precharge, or an idle tick).
+	// Deferring keeps the row open for queued row hits — the RELOCs only
+	// need the row in the local row buffer, and the controller schedules
+	// them when no column commands are pending (Section 8.1).
+	pendingRelocs [][]*RelocPlan
+	// relocBanks counts banks with pending relocation plans, so idle
+	// ticks skip the per-bank scan when there is no deferred work.
+	relocBanks int
+	// lastColumn records each bank's last column-access cycle (indexed by
+	// dense bank ID); the idle flush waits IdleFlushAfter cycles beyond
+	// it, so relocations do not close a row in the middle of a spatial
+	// burst whose next block is still working its way down the cache
+	// hierarchy.
+	lastColumn []int64
+	// claimed is scratch space for the FR-FCFS pass-2 bank ownership
+	// scan, reused across ticks to avoid a per-tick allocation.
+	claimed []bool
+	// lastTick is the bus cycle of the previous Tick call, used to credit
+	// the write-drain diagnostic for ticks a cycle-skipping caller
+	// elided; -1 before the first tick.
+	lastTick int64
 
 	// Stats.
 	NumReads, NumWrites    int64
@@ -125,13 +138,27 @@ func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Contr
 		cache:         cache,
 		readQ:         newQueue(cfg.ReadQueueDepth),
 		writeQ:        newQueue(cfg.WriteQueueDepth),
-		pendingRelocs: make(map[int][]*RelocPlan),
-		lastColumn:    make(map[int]int64),
+		pendingRelocs: make([][]*RelocPlan, ch.NumBanks()),
+		lastColumn:    make([]int64, ch.NumBanks()),
+		claimed:       make([]bool, ch.NumBanks()),
+		lastTick:      -1,
 	}
 }
 
 // Channel exposes the underlying DRAM channel (stats, tests).
 func (c *Controller) Channel() *dram.Channel { return c.channel }
+
+// AccountSkippedTail credits the write-drain diagnostic for no-op ticks
+// between the controller's last tick and the end of the run (bus cycle
+// lastBus inclusive). Tick credits skipped ticks lazily on the next
+// call, so a run that ends mid-gap must settle the remainder here to
+// keep WritingCycles identical to the dense cycle-by-cycle loop.
+func (c *Controller) AccountSkippedTail(lastBus int64) {
+	if c.writing && c.lastTick >= 0 && lastBus > c.lastTick {
+		c.WritingCycles += lastBus - c.lastTick
+	}
+	c.lastTick = lastBus
+}
 
 // CanAccept reports whether a request of the given kind can enter its
 // queue this cycle.
@@ -178,7 +205,23 @@ func (c *Controller) PendingWrites() int { return c.writeQ.size() }
 // command. done receives completion callbacks to schedule; the controller
 // calls them synchronously at the data-end cycle via the deferred list the
 // caller drains.
-func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) {
+//
+// The return value is the controller's next-work probe: a lower bound on
+// the next bus cycle at which the controller could change state, assuming
+// no new request is enqueued before then. The run loop may skip all bus
+// cycles up to (but not including) that cycle; ticking earlier is always
+// safe and behaves exactly like the skipped idle ticks (a no-op).
+func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) int64 {
+	// Credit the write-drain diagnostic for ticks the caller skipped: a
+	// skipped tick is by contract a no-op, but the dense loop would still
+	// have counted it as a write-drain cycle while the mode was active
+	// (the mode cannot change during no-op ticks — queue sizes are
+	// stable, so the hysteresis is at a fixed point).
+	if c.writing && c.lastTick >= 0 && now > c.lastTick+1 {
+		c.WritingCycles += now - c.lastTick - 1
+	}
+	c.lastTick = now
+
 	// Refresh has strict priority once due: the controller stops issuing
 	// new work to the rank, precharges its open banks as their timing
 	// allows, and issues REF as soon as every bank is closed and the bus
@@ -190,10 +233,10 @@ func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) {
 			if at <= now {
 				c.channel.Issue(cmd, now)
 			}
-			return // all banks closed; wait for REF timing
+			return now + 1 // all banks closed; wait for REF timing
 		}
 		c.prechargeForRefresh(rank, now)
-		return // hold new work until the refresh has issued
+		return now + 1 // hold new work until the refresh has issued
 	}
 
 	c.noteQueueDepths()
@@ -221,10 +264,29 @@ func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) {
 			q = c.writeQ
 		}
 	}
-	if q.empty() || !c.schedule(q, now, schedule) {
-		// Nothing issuable this tick: spend it on deferred relocations.
-		c.flushIdleRelocs(now)
+	nextAt := int64(math.MaxInt64)
+	if !q.empty() {
+		issued, qNext := c.schedule(q, now, schedule)
+		if issued {
+			return now + 1
+		}
+		nextAt = qNext
 	}
+	// Nothing issuable this tick: spend it on deferred relocations.
+	flushed, relocNext := c.flushIdleRelocs(now)
+	if flushed {
+		return now + 1
+	}
+	if relocNext < nextAt {
+		nextAt = relocNext
+	}
+	if t := c.channel.NextRefresh(); t < nextAt {
+		nextAt = t
+	}
+	if nextAt <= now {
+		nextAt = now + 1
+	}
+	return nextAt
 }
 
 // prechargeForRefresh closes one open bank in the rank; returns true if a
@@ -262,7 +324,8 @@ func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
 	if len(plans) == 0 {
 		return false
 	}
-	delete(c.pendingRelocs, bankID)
+	c.pendingRelocs[bankID] = nil
+	c.relocBanks--
 	var cost int64
 	blocks, hops := 0, 0
 	isLISA, channelWide := false, false
@@ -287,59 +350,98 @@ func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
 	return true
 }
 
+// relocFlushReady returns the earliest bus cycle at which the bank's
+// deferred relocation work may be flushed: the quiet window after its
+// last column access must have elapsed (IdleFlushAfter), and the bank
+// must be able to precharge (row open, tRAS met) or activate (row
+// closed). math.MaxInt64 when the bank has no pending work. Both the
+// idle flush and the next-work probe derive from this single predicate,
+// so the cycle-skipping engine can never wake later than a flush.
+func (c *Controller) relocFlushReady(bankID int, now int64) int64 {
+	plans := c.pendingRelocs[bankID]
+	if len(plans) == 0 {
+		return math.MaxInt64
+	}
+	bank := c.channel.Bank(plans[0].Loc)
+	var ready int64
+	if row, _ := bank.Open(); row != -1 {
+		ready, _ = bank.CanPRE(now) // a bank with an open row can always PRE eventually
+	} else {
+		ready, _ = bank.CanACT(now) // a closed bank can always ACT eventually
+	}
+	if quiet := c.lastColumn[bankID] + c.cfg.IdleFlushAfter; quiet > ready {
+		ready = quiet
+	}
+	return ready
+}
+
 // flushIdleRelocs spends an otherwise idle tick performing deferred
 // relocation work on a bank that no queued request needs right now and
-// that has been quiet for at least IdleFlushAfter cycles.
-func (c *Controller) flushIdleRelocs(now int64) {
-	for bankID, plans := range c.pendingRelocs {
-		if len(plans) == 0 {
-			continue
-		}
-		if now-c.lastColumn[bankID] < c.cfg.IdleFlushAfter {
-			continue
-		}
-		loc := plans[0].Loc
-		bank := c.channel.Bank(loc)
-		row, _ := bank.Open()
-		if row != -1 {
-			// Only flush if the bank could precharge now (tRAS met).
-			if at, ok := bank.CanPRE(now); !ok || at > now {
-				continue
-			}
-		} else if at, ok := bank.CanACT(now); !ok || at > now {
-			continue
-		}
-		c.flushRelocs(bankID, now, row != -1)
-		return
+// that has been quiet for at least IdleFlushAfter cycles. Banks are
+// visited in ascending ID order so that runs are deterministic when
+// several banks are eligible on the same tick. When nothing is flushed,
+// nextAt is the earliest bus cycle a flush could happen (math.MaxInt64
+// if no work is pending), so the caller gets the next-work probe from
+// the same single scan.
+func (c *Controller) flushIdleRelocs(now int64) (flushed bool, nextAt int64) {
+	nextAt = math.MaxInt64
+	if c.relocBanks == 0 {
+		return false, nextAt
 	}
+	for bankID := range c.pendingRelocs {
+		ready := c.relocFlushReady(bankID, now)
+		if ready > now {
+			if ready < nextAt {
+				nextAt = ready
+			}
+			continue
+		}
+		row, _ := c.channel.Bank(c.pendingRelocs[bankID][0].Loc).Open()
+		c.flushRelocs(bankID, now, row != -1)
+		return true, now + 1
+	}
+	return false, nextAt
 }
 
 // schedule implements FR-FCFS over queue q: first any request whose column
 // command is ready on an open row (oldest first), then the oldest request,
 // for which it issues the next command of the ACT/PRE sequence.
-func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) bool {
+//
+// When nothing is issuable this tick, nextAt is the earliest bus cycle at
+// which any considered command becomes issuable. The DRAM timing windows
+// only move when a command issues, so nextAt stays valid until the next
+// enqueue — the run loop can skip the idle ticks in between.
+func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) (issued bool, nextAt int64) {
+	nextAt = math.MaxInt64
 	// Pass 1: row hits — column command ready now.
 	for i, r := range q.items {
 		cmd := c.columnCmd(r)
-		if at, ok := c.channel.CanIssue(cmd, now); ok && at <= now {
-			c.issueColumn(q, i, r, now, schedule)
-			return true
+		if at, ok := c.channel.CanIssue(cmd, now); ok {
+			if at <= now {
+				c.issueColumn(q, i, r, now, schedule)
+				return true, now + 1
+			}
+			if at < nextAt {
+				nextAt = at
+			}
 		}
 	}
 	// Pass 2: oldest request first, issue ACT or PRE as needed. Each bank
 	// belongs to the oldest request targeting it: younger requests must
 	// not precharge a row an older request is still waiting on.
-	claimed := make(map[int]bool, len(q.items))
+	for i := range c.claimed {
+		c.claimed[i] = false
+	}
 	for _, r := range q.items {
 		bankID := r.ServiceLoc.BankID(c.channel.Geo)
-		if claimed[bankID] {
+		if c.claimed[bankID] {
 			continue
 		}
-		claimed[bankID] = true
+		c.claimed[bankID] = true
 		bank := c.channel.Bank(r.ServiceLoc)
 		row, cacheRow := bank.Open()
 		if row == r.ServiceLoc.Row && cacheRow == r.ServiceLoc.CacheRow {
-			continue // waiting on tRCD; pass 1 will pick it up
+			continue // waiting on tRCD; pass 1 covers its column command
 		}
 		if row != -1 {
 			// Conflict: precharge the open row, folding in any pending
@@ -348,24 +450,34 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn fu
 			pre := dram.Command{Type: dram.CmdPRE,
 				Loc: dram.Location{Rank: r.ServiceLoc.Rank, Group: r.ServiceLoc.Group,
 					Bank: r.ServiceLoc.Bank, Row: row, CacheRow: cacheRow}}
-			if at, ok := c.channel.CanIssue(pre, now); ok && at <= now {
-				bank.RowConflict++
-				if c.flushRelocs(bankID, now, true) {
-					return true
+			if at, ok := c.channel.CanIssue(pre, now); ok {
+				if at <= now {
+					bank.RowConflict++
+					if c.flushRelocs(bankID, now, true) {
+						return true, now + 1
+					}
+					c.channel.Issue(pre, now)
+					return true, now + 1
 				}
-				c.channel.Issue(pre, now)
-				return true
+				if at < nextAt {
+					nextAt = at
+				}
 			}
 			continue
 		}
 		act := dram.Command{Type: dram.CmdACT, Loc: r.ServiceLoc}
-		if at, ok := c.channel.CanIssue(act, now); ok && at <= now {
-			bank.RowMisses++
-			c.channel.Issue(act, now)
-			return true
+		if at, ok := c.channel.CanIssue(act, now); ok {
+			if at <= now {
+				bank.RowMisses++
+				c.channel.Issue(act, now)
+				return true, now + 1
+			}
+			if at < nextAt {
+				nextAt = at
+			}
 		}
 	}
-	return false
+	return false, nextAt
 }
 
 func (c *Controller) columnCmd(r *Request) dram.Command {
@@ -404,6 +516,9 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 	if c.cache != nil && !r.CacheHit && !r.noInsert && !r.ServiceLoc.CacheRow {
 		if plan := c.cache.Insert(c.channel, r.Loc, now); plan != nil {
 			id := plan.Loc.BankID(c.channel.Geo)
+			if len(c.pendingRelocs[id]) == 0 {
+				c.relocBanks++
+			}
 			c.pendingRelocs[id] = append(c.pendingRelocs[id], plan)
 			c.Inserted++
 			if c.cfg.ImmediateReloc {

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// runWith executes one config with the given engine selection.
+func runWith(t *testing.T, cfg Config, dense bool) Result {
+	t.Helper()
+	cfg.DenseLoop = dense
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// warmMix returns a workload that exercises the in-DRAM cache (insertions,
+// relocations, idle flushes) within a small instruction budget.
+func warmMix(t *testing.T) workload.Mix {
+	t.Helper()
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Bubbles = 4
+	spec.HotSegments = 2560
+	spec.HotFraction = 0.95
+	return workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+}
+
+// TestEngineEquivalence is the golden determinism test for the
+// cycle-skipping engine: every configuration must produce a sim.Result
+// bit-identical to the dense cycle-by-cycle reference loop.
+func TestEngineEquivalence(t *testing.T) {
+	type tc struct {
+		name  string
+		cfg   Config
+		insts int64
+	}
+	var cases []tc
+	for _, p := range Presets() {
+		cases = append(cases, tc{
+			name:  p.String() + "/mcf",
+			cfg:   DefaultConfig(p, smallMix(t, "mcf")),
+			insts: 20_000,
+		})
+	}
+	// Relocation-heavy runs stress deferred-flush and refresh timing.
+	cases = append(cases,
+		tc{name: "FIGCache-Fast/warm", cfg: DefaultConfig(FIGCacheFast, warmMix(t)), insts: 60_000},
+		tc{name: "LISA-VILLA/warm", cfg: DefaultConfig(LISAVilla, warmMix(t)), insts: 60_000},
+	)
+	immediate := DefaultConfig(FIGCacheFast, warmMix(t))
+	immediate.ImmediateReloc = true
+	cases = append(cases, tc{name: "FIGCache-Fast/immediate-reloc", cfg: immediate, insts: 40_000})
+	// A non-intensive app spends most cycles unstalled (no skipping).
+	cases = append(cases, tc{name: "Base/gcc", cfg: DefaultConfig(Base, smallMix(t, "gcc")), insts: 20_000})
+
+	if !testing.Short() {
+		eight := DefaultConfig(Base, workload.EightCoreMixes()[0])
+		cases = append(cases, tc{name: "Base/8core", cfg: eight, insts: 5_000})
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			c.cfg.TargetInsts = c.insts
+			dense := runWith(t, c.cfg, true)
+			skip := runWith(t, c.cfg, false)
+			if !reflect.DeepEqual(dense, skip) {
+				t.Errorf("engines diverge:\n dense: %+v\n  skip: %+v", dense, skip)
+			}
+		})
+	}
+}
+
+// TestEngineStallCounters checks that the diagnostic stall statistics —
+// which are not part of sim.Result — also match between engines: the
+// cycle-skipping loop credits skipped stall cycles via
+// cpu.Core.AccountSkipped / cache.Cache.AccountRefused.
+func TestEngineStallCounters(t *testing.T) {
+	// writeHeavy streams stores through an LLC-evicting footprint so the
+	// controllers actually enter write-drain mode; without it the
+	// WritingCycles comparison would be vacuously 0 == 0.
+	writeHeavy := func() workload.Mix {
+		spec, err := workload.ByName("lbm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Bubbles = 0
+		spec.WriteFrac = 0.9
+		spec.HotFraction = 0
+		return workload.Mix{Name: "writeheavy", Apps: []workload.BenchSpec{spec}}
+	}
+	cases := []struct {
+		name         string
+		mix          workload.Mix
+		insts        int64
+		wantDraining bool
+	}{
+		{name: "mcf", mix: smallMix(t, "mcf"), insts: 20_000},
+		{name: "writeheavy", mix: writeHeavy(), insts: 60_000, wantDraining: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(dense bool) *System {
+				cfg := DefaultConfig(Base, tc.mix)
+				cfg.TargetInsts = tc.insts
+				cfg.Seed = 2
+				cfg.DenseLoop = dense
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			d, k := run(true), run(false)
+			for i := range d.Cores() {
+				dc, kc := d.Cores()[i], k.Cores()[i]
+				if dc.LoadStalls != kc.LoadStalls || dc.WindowFull != kc.WindowFull {
+					t.Errorf("core %d stalls diverge: dense load=%d window=%d, skip load=%d window=%d",
+						i, dc.LoadStalls, dc.WindowFull, kc.LoadStalls, kc.WindowFull)
+				}
+			}
+			for i := range d.Hierarchy().L1s {
+				dl, kl := d.Hierarchy().L1s[i], k.Hierarchy().L1s[i]
+				if dl.MSHRFullStalls != kl.MSHRFullStalls || dl.ReadAcc != kl.ReadAcc || dl.WriteAcc != kl.WriteAcc {
+					t.Errorf("L1.%d counters diverge: dense (stalls=%d r=%d w=%d), skip (stalls=%d r=%d w=%d)",
+						i, dl.MSHRFullStalls, dl.ReadAcc, dl.WriteAcc, kl.MSHRFullStalls, kl.ReadAcc, kl.WriteAcc)
+				}
+			}
+			var writing int64
+			for i := range d.Controllers() {
+				dc, kc := d.Controllers()[i], k.Controllers()[i]
+				if dc.WritingCycles != kc.WritingCycles {
+					t.Errorf("controller %d WritingCycles diverge: dense %d, skip %d",
+						i, dc.WritingCycles, kc.WritingCycles)
+				}
+				writing += dc.WritingCycles
+			}
+			if tc.wantDraining && writing == 0 {
+				t.Error("write-heavy workload never entered write-drain mode; comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestEngineDeterministicRerun checks that the same seed yields a
+// bit-identical Result across two runs of the same engine.
+func TestEngineDeterministicRerun(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		cfg := DefaultConfig(FIGCacheFast, warmMix(t))
+		cfg.TargetInsts = 40_000
+		cfg.Seed = 7
+		a := runWith(t, cfg, dense)
+		b := runWith(t, cfg, dense)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("dense=%v: reruns with the same seed diverge:\n a: %+v\n b: %+v", dense, a, b)
+		}
+	}
+}
+
+// TestEngineSeedSensitivity guards against the seed being ignored: two
+// different seeds should (for a memory-intensive workload) produce
+// different traces and therefore different cycle counts.
+func TestEngineSeedSensitivity(t *testing.T) {
+	cfg := DefaultConfig(Base, smallMix(t, "mcf"))
+	cfg.TargetInsts = 15_000
+	a := runWith(t, cfg, false)
+	cfg.Seed = 99
+	b := runWith(t, cfg, false)
+	if a.Cycles == b.Cycles && reflect.DeepEqual(a.DRAM, b.DRAM) {
+		t.Error("different seeds produced identical runs; seed is likely ignored")
+	}
+}

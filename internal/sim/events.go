@@ -7,8 +7,6 @@
 // the DRAM bus ticking every fourth cycle (800 MHz).
 package sim
 
-import "container/heap"
-
 // event is a deferred callback in CPU-cycle time.
 type event struct {
 	at  int64
@@ -16,40 +14,79 @@ type event struct {
 	fn  func(now int64)
 }
 
-// eventQueue is a deterministic min-heap of events.
+// eventQueue is a deterministic min-heap of events. It is hand-rolled
+// rather than built on container/heap: events fire several times per
+// simulated memory access, and the interface boxing of heap.Push/Pop
+// allocates on every call.
 type eventQueue struct {
 	items []event
 	seq   int64
 }
 
-func (q *eventQueue) Len() int { return len(q.items) }
-func (q *eventQueue) Less(i, j int) bool {
+func (q *eventQueue) less(i, j int) bool {
 	if q.items[i].at != q.items[j].at {
 		return q.items[i].at < q.items[j].at
 	}
 	return q.items[i].seq < q.items[j].seq
 }
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
 
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
 }
 
 // schedule adds a callback at absolute CPU cycle at.
 func (q *eventQueue) schedule(at int64, fn func(int64)) {
 	q.seq++
-	heap.Push(q, event{at: at, seq: q.seq, fn: fn})
+	q.items = append(q.items, event{at: at, seq: q.seq, fn: fn})
+	q.up(len(q.items) - 1)
 }
 
-// fireDue runs all events due at or before now, in order.
+// nextAt returns the time of the earliest pending event.
+func (q *eventQueue) nextAt() (at int64, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
+}
+
+// fireDue runs all events due at or before now, in order. Events
+// scheduled by a firing callback at or before now fire in the same call.
 func (q *eventQueue) fireDue(now int64) {
-	for q.Len() > 0 && q.items[0].at <= now {
-		it := heap.Pop(q).(event)
+	for len(q.items) > 0 && q.items[0].at <= now {
+		it := q.items[0]
+		n := len(q.items) - 1
+		q.items[0] = q.items[n]
+		q.items[n] = event{} // release the callback for GC
+		q.items = q.items[:n]
+		if n > 1 {
+			q.down(0)
+		}
 		it.fn(now)
 	}
 }

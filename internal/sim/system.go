@@ -146,7 +146,12 @@ func (s *System) Hooks() []memctrl.CacheHook { return s.hooks }
 // queues, and converts completion times between clock domains.
 type memAdapter struct {
 	sys     *System
-	pending []*pendingReq
+	pending []pendingReq
+	blocked []bool // per-channel head-of-line marker, reused across drains
+	// enqueued[ch] reports whether the latest drain handed channel ch a
+	// new request; the cycle-skipping engine must tick that controller
+	// even if its next-work probe says it would otherwise stay idle.
+	enqueued []bool
 }
 
 type pendingReq struct {
@@ -162,27 +167,67 @@ func (m *memAdapter) Request(addr uint64, isWrite bool, coreID int, onDone func(
 	// System.Run, which already converts bus cycles to CPU cycles, so the
 	// callback fires in CPU time and can be passed through directly.
 	req.OnComplete = onDone
-	m.pending = append(m.pending, &pendingReq{channel: ch, req: req})
+	m.pending = append(m.pending, pendingReq{channel: ch, req: req})
 }
 
-// drain moves buffered requests into controller queues as space allows.
-// Order is preserved per channel.
+// drain moves buffered requests into controller queues in arrival order.
+// Order is preserved per channel: once one request for a channel is
+// blocked (its controller queue is full), every later request for that
+// channel stalls behind it, even if it targets the other queue — a
+// blocked write must not let a younger read to the same channel jump
+// ahead. Kept requests are compacted in place (no per-element splicing).
 func (m *memAdapter) drain(busNow int64) {
-	for i := 0; i < len(m.pending); {
-		p := m.pending[i]
-		ctrl := m.sys.ctrls[p.channel]
-		if ctrl.CanAccept(p.req.IsWrite) {
-			ctrl.Enqueue(p.req, busNow)
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-		} else {
-			i++
+	if m.blocked == nil {
+		m.blocked = make([]bool, len(m.sys.ctrls))
+		m.enqueued = make([]bool, len(m.sys.ctrls))
+	} else {
+		for i := range m.blocked {
+			m.blocked[i] = false
+			m.enqueued[i] = false
 		}
 	}
+	if len(m.pending) == 0 {
+		return
+	}
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if !m.blocked[p.channel] && m.sys.ctrls[p.channel].CanAccept(p.req.IsWrite) {
+			m.sys.ctrls[p.channel].Enqueue(p.req, busNow)
+			m.enqueued[p.channel] = true
+			continue
+		}
+		m.blocked[p.channel] = true
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = pendingReq{} // release dropped requests for GC
+	}
+	m.pending = kept
 }
 
 // Run executes the system until every core reaches its instruction target
-// (or MaxCycles elapse) and returns the collected results.
+// (or MaxCycles elapse) and returns the collected results. It uses the
+// cycle-skipping engine unless Config.DenseLoop selects the reference
+// cycle-by-cycle loop; the two are bit-identical (TestEngineEquivalence).
 func (s *System) Run() (Result, error) {
+	if s.cfg.DenseLoop {
+		s.runDense()
+	} else {
+		s.runSkipping()
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			return Result{}, fmt.Errorf("sim: core %d retired only %d/%d instructions in %d cycles",
+				c.ID, c.Retired, c.TargetInsts, s.clock)
+		}
+	}
+	return s.collect(), nil
+}
+
+// runDense is the reference engine: advance the clock one CPU cycle at a
+// time, ticking the memory system every bus cycle and every core every
+// CPU cycle.
+func (s *System) runDense() {
 	cpb := s.cfg.CPUPerBus
 	for ; s.clock < s.cfg.MaxCycles; s.clock++ {
 		s.events.fireDue(s.clock)
@@ -207,11 +252,119 @@ func (s *System) Run() (Result, error) {
 			break
 		}
 	}
-	for _, c := range s.cores {
-		if !c.Done() {
-			return Result{}, fmt.Errorf("sim: core %d retired only %d/%d instructions in %d cycles",
-				c.ID, c.Retired, c.TargetInsts, s.clock)
+}
+
+// runSkipping is the cycle-skipping engine. Each executed cycle performs
+// exactly what the dense loop would (events, bus tick on bus-cycle
+// boundaries, core ticks, in the same order); the difference is that the
+// clock then jumps directly to the next cycle at which anything can
+// happen:
+//
+//   - the next scheduled event (cache latencies, fills, DRAM completions),
+//   - the next cycle a core can retire or issue (cpu.Core.NextWake),
+//   - the next bus cycle a controller could change state (the next-work
+//     probe returned by memctrl.Controller.Tick), and
+//   - the next bus boundary while the adapter holds requests waiting for
+//     controller queue space.
+//
+// Cycles in between are provably no-ops in the dense loop — blocked cores
+// only unblock through scheduler events, and DRAM timing windows only
+// move when a command issues — so skipping them is bit-identical.
+func (s *System) runSkipping() {
+	cpb := s.cfg.CPUPerBus
+	// ctrlWake[i] is the next-work bus cycle controller i reported at its
+	// most recent tick; zero forces a tick at the first bus boundary.
+	ctrlWake := make([]int64, len(s.ctrls))
+	for s.clock < s.cfg.MaxCycles {
+		s.events.fireDue(s.clock)
+		if s.clock%cpb == 0 {
+			busNow := s.clock / cpb
+			s.adapter.drain(busNow)
+			for i, ctrl := range s.ctrls {
+				// Skip controllers that are neither due nor freshly fed:
+				// ticking before the next-work cycle with no new input is
+				// a no-op in the dense loop too.
+				if ctrlWake[i] > busNow && !s.adapter.enqueued[i] {
+					continue
+				}
+				ctrlWake[i] = ctrl.Tick(busNow, func(at int64, fn func(int64)) {
+					s.events.schedule(at*cpb, fn)
+				})
+			}
+		}
+		allDone := true
+		for _, c := range s.cores {
+			c.Tick(s.clock)
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			s.clock++
+			break
+		}
+
+		next := s.cfg.MaxCycles
+		for _, c := range s.cores {
+			if w := c.NextWake(s.clock); w < next {
+				next = w
+				if next <= s.clock+1 {
+					break // can't wake earlier than the next cycle
+				}
+			}
+		}
+		if next > s.clock+1 {
+			// Only consult the event queue and the memory system when
+			// every core is blocked: due events have already fired, so
+			// neither source can be earlier than clock+1.
+			if at, ok := s.events.nextAt(); ok && at < next {
+				next = at
+			}
+			if bus := s.nextBusWork(ctrlWake, cpb); bus < next {
+				next = bus
+			}
+		}
+		if next <= s.clock {
+			next = s.clock + 1
+		}
+		// A jump of more than one cycle only happens when every core is
+		// blocked; credit their stall counters for the cycles the dense
+		// loop would have spent ticking them.
+		if skipped := next - s.clock - 1; skipped > 0 {
+			for _, c := range s.cores {
+				c.AccountSkipped(skipped)
+			}
+		}
+		s.clock = next
+	}
+	// Settle write-drain credit for controller ticks skipped at the very
+	// end of the run: the dense loop ticks every bus boundary up to the
+	// last executed cycle (s.clock-1 on both exit paths).
+	lastBus := (s.clock - 1) / cpb
+	for _, ctrl := range s.ctrls {
+		ctrl.AccountSkippedTail(lastBus)
+	}
+}
+
+// nextBusWork returns the next CPU cycle at which the memory system needs
+// a bus tick: the earliest controller next-work probe, or the very next
+// bus boundary while the adapter still buffers requests that must retry
+// entering a full controller queue.
+func (s *System) nextBusWork(ctrlWake []int64, cpb int64) int64 {
+	const never = int64(1<<63 - 1)
+	next := never
+	for _, w := range ctrlWake {
+		if w < next {
+			next = w
 		}
 	}
-	return s.collect(), nil
+	if next != never {
+		next *= cpb
+	}
+	if len(s.adapter.pending) > 0 {
+		if b := (s.clock/cpb + 1) * cpb; b < next {
+			next = b
+		}
+	}
+	return next
 }
