@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -55,6 +56,31 @@ func main() {
 		fatal(err)
 	}
 	printResult(system.Config(), res)
+	printLatencyTail(system)
+}
+
+// printLatencyTail reports sampled read-latency percentiles from the
+// controllers' bounded latency reservoirs: the mean alone hides the
+// queueing/refresh tail. Per-channel reservoirs are merged weighted by
+// each channel's read count, so a busy channel dominates the tail the
+// way it dominates the traffic.
+func printLatencyTail(system *sim.System) {
+	ctrls := system.Controllers()
+	sets := make([][]int64, len(ctrls))
+	streamLens := make([]int64, len(ctrls))
+	samples := 0
+	for i, c := range ctrls {
+		sets[i] = c.LatencySamples()
+		streamLens[i] = c.NumReads
+		samples += len(sets[i])
+	}
+	vals := stats.WeightedPercentiles(sets, streamLens, []float64{0.50, 0.90, 0.99})
+	if vals == nil {
+		return
+	}
+	tm := ctrls[0].Channel().Slow
+	fmt.Printf("           read latency p50/p90/p99: %.1f / %.1f / %.1f ns (from %d sampled reads)\n",
+		tm.NS(vals[0]), tm.NS(vals[1]), tm.NS(vals[2]), samples)
 }
 
 func parsePreset(name string) (sim.Preset, error) {

@@ -43,6 +43,13 @@ func main() {
 		if cache.ShouldInsert(loc) {
 			if plan := cache.Insert(channel, loc, 0); plan != nil {
 				planNote = fmt.Sprintf("inserted (%d RELOCs, %d-cycle occupancy)", plan.Blocks, plan.Cost)
+				// The memory controller defers relocation work until the
+				// source row closes and only then commits the cache tags;
+				// this demo has no controller, so the relocation executes
+				// (and commits) immediately.
+				if plan.Commit != nil {
+					plan.Commit()
+				}
 			}
 		}
 		fmt.Printf("  %-22s row %4d seg %d: miss, %s\n", label, row, block/16, planNote)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,12 @@ import (
 	"repro/internal/workload"
 )
 
+// insts keeps the demo re-scalable: the CI smoke test runs it at a tiny
+// instruction budget so the example keeps executing, not just compiling.
+var insts = flag.Int64("insts", 1_500_000, "per-core instruction budget")
+
 func main() {
+	flag.Parse()
 	// Pick a 100%-intensive mix: the regime with the heaviest bank
 	// conflicts (Figure 8's rightmost category).
 	var mix workload.Mix
@@ -33,10 +39,10 @@ func main() {
 
 	run := func(p sim.Preset) sim.Result {
 		cfg := sim.DefaultConfig(p, mix)
-		// Enough instructions for the hot sweeps to revisit their segments:
-		// the in-DRAM cache pays insertion cost up front and earns it back
-		// on reuse, so short runs understate its benefit (EXPERIMENTS.md).
-		cfg.TargetInsts = 1_500_000
+		// The default budget gives the hot sweeps time to revisit their
+		// segments: the in-DRAM cache pays insertion cost up front and
+		// earns it back on reuse, so short runs understate its benefit.
+		cfg.TargetInsts = *insts
 		system, err := sim.New(cfg)
 		if err != nil {
 			log.Fatal(err)

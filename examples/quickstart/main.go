@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,7 +21,12 @@ import (
 	"repro/internal/workload"
 )
 
+// insts keeps the demo re-scalable: the CI smoke test runs it at a tiny
+// instruction budget so the example keeps executing, not just compiling.
+var insts = flag.Int64("insts", 300_000, "per-core instruction budget of the system demo")
+
 func main() {
+	flag.Parse()
 	figaroDemo()
 	systemDemo()
 }
@@ -71,7 +77,7 @@ func systemDemo() {
 
 	run := func(p sim.Preset) sim.Result {
 		cfg := sim.DefaultConfig(p, mix)
-		cfg.TargetInsts = 300_000
+		cfg.TargetInsts = *insts
 		system, err := sim.New(cfg)
 		if err != nil {
 			log.Fatal(err)

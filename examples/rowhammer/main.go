@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -27,10 +28,14 @@ const (
 	aggressorA = 5000 // two aggressor rows sandwiching the victim
 	aggressorB = 5002
 	victim     = 5001
-	rounds     = 2000
 )
 
+// rounds keeps the demo re-scalable: the CI smoke test runs it at a tiny
+// hammer count so the example keeps executing, not just compiling.
+var rounds = flag.Int("rounds", 2000, "double-sided hammer rounds")
+
 func main() {
+	flag.Parse()
 	fmt.Println("--- double-sided RowHammer pattern: A, B, A, B, ... ---")
 	baseActs := hammer(nil)
 	fmt.Printf("conventional DRAM: aggressor activations A=%d B=%d (victim neighbours disturbed %d times)\n",
@@ -76,7 +81,7 @@ func hammer(cache memctrl.CacheHook) map[int]int64 {
 	completed := 0
 	issued := 0
 	nextRow := aggressorA
-	for now := int64(0); completed < 2*rounds && now < int64(rounds)*500; now++ {
+	for now := int64(0); completed < 2**rounds && now < int64(*rounds)*500; now++ {
 		for i := 0; i < len(pending); {
 			if pending[i].at <= now {
 				pending[i].fn(now)
@@ -87,7 +92,7 @@ func hammer(cache memctrl.CacheHook) map[int]int64 {
 		}
 		// The attacker alternates rows and waits for each access to finish
 		// (maximizing activations, as a real RowHammer loop does).
-		if issued == completed && issued < 2*rounds && ctrl.CanAccept(false) {
+		if issued == completed && issued < 2**rounds && ctrl.CanAccept(false) {
 			row := nextRow
 			if nextRow == aggressorA {
 				nextRow = aggressorB

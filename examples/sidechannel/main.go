@@ -18,6 +18,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -29,10 +30,14 @@ import (
 const (
 	attackerRow = 7000 // attacker's probe data
 	victimRow   = 7001 // victim data in the same bank
-	probes      = 400
 )
 
+// probes keeps the demo re-scalable: the CI smoke test runs it at a tiny
+// probe count so the example keeps executing, not just compiling.
+var probes = flag.Int("probes", 400, "attacker probe count")
+
 func main() {
+	flag.Parse()
 	fmt.Println("--- DRAMA-style row-buffer side channel (Section 6) ---")
 	idleBase := probeLatency(false, false)
 	activeBase := probeLatency(true, false)
@@ -82,9 +87,9 @@ func probeLatency(victimActive, withFIGCache bool) float64 {
 	var pending []ev
 	step := 0
 	issued, completed := 0, 0
-	total := probes
+	total := *probes
 	if victimActive {
-		total = probes * 2
+		total = *probes * 2
 	}
 	for now := int64(0); completed < total && now < int64(total)*600; now++ {
 		for i := 0; i < len(pending); {

@@ -1,0 +1,57 @@
+package repro_bench
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds every examples/* binary and executes it at a
+// tiny scale, so the examples cannot silently rot: before this test they
+// were compiled by `go build ./...` but never run, and a behavioural
+// break (panic, log.Fatal, hung loop) would ship unnoticed.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+
+	binDir := t.TempDir()
+	build := exec.Command(goBin, "build", "-o", binDir, "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building examples: %v\n%s", err, out)
+	}
+
+	// Tiny-scale arguments per example; examples without a scale knob
+	// are fast enough to run at their defaults.
+	args := map[string][]string{
+		"quickstart":  {"-insts", "3000"},
+		"multicore":   {"-insts", "1500"},
+		"rowhammer":   {"-rounds", "50"},
+		"sidechannel": {"-probes", "40"},
+		"hotspot":     nil,
+	}
+
+	for name, a := range args {
+		name, a := name, a
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, filepath.Join(binDir, name), a...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s %v failed: %v\n%s", name, a, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

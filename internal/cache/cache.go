@@ -79,8 +79,12 @@ type mshr struct {
 
 // Cache is one cache level.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
+	cfg Config
+	// lines is the flat backing array of all sets (set i occupies
+	// lines[i*Ways:(i+1)*Ways]). One pointer-free allocation: the GC
+	// never scans it, and construction is a single zeroed make — both
+	// matter when the harness builds thousands of short-lived systems.
+	lines []line
 	setsN uint64
 	shift uint
 	next  Backend
@@ -110,7 +114,7 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	setsN := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
 	c := &Cache{
 		cfg:    cfg,
-		sets:   make([][]line, setsN),
+		lines:  make([]line, setsN*cfg.Ways),
 		setsN:  uint64(setsN),
 		next:   next,
 		sched:  sched,
@@ -126,13 +130,13 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 		shift++
 	}
 	c.shift = shift
-	// One flat backing array for all sets: a single allocation instead of
-	// one per set, which dominates construction cost for large caches.
-	flat := make([]line, setsN*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = flat[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
 	return c, nil
+}
+
+// set returns the ways of one cache set.
+func (c *Cache) set(idx uint64) []line {
+	w := uint64(c.cfg.Ways)
+	return c.lines[idx*w : idx*w+w]
 }
 
 // Config returns the cache configuration.
@@ -159,7 +163,7 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 		c.ReadAcc++
 	}
 	setIdx, tag := c.setAndTag(addr)
-	set := c.sets[setIdx]
+	set := c.set(setIdx)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.clock
@@ -277,24 +281,28 @@ func (c *Cache) newMSHR(blk uint64, markDirty bool) *mshr {
 // cycle, without performing it: a hit, a merge into an outstanding fetch
 // of the same block, or a free MSHR. It has no side effects, so the core
 // model can probe whether issuing is possible before spending a cycle.
+// The capacity check comes first: with a free MSHR every access is
+// accepted, so the run loop's frequent probes skip the tag and MSHR
+// scans entirely on the common path.
 func (c *Cache) CanAccept(addr uint64) bool {
+	if c.cfg.MSHRs == 0 || len(c.active) < c.cfg.MSHRs {
+		return true
+	}
 	setIdx, tag := c.setAndTag(addr)
-	for i := range c.sets[setIdx] {
-		if c.sets[setIdx][i].valid && c.sets[setIdx][i].tag == tag {
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
 			return true
 		}
 	}
-	if c.findMSHR(c.blockAddr(addr)) != nil {
-		return true
-	}
-	return c.cfg.MSHRs == 0 || len(c.active) < c.cfg.MSHRs
+	return c.findMSHR(c.blockAddr(addr)) != nil
 }
 
 // fill installs a fetched block, evicting the LRU way (write-back if
 // dirty) and waking all waiters.
 func (c *Cache) fill(blk uint64) {
 	setIdx, tag := c.setAndTag(blk)
-	set := c.sets[setIdx]
+	set := c.set(setIdx)
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
@@ -313,8 +321,16 @@ func (c *Cache) fill(blk uint64) {
 	c.clock++
 	m := c.removeMSHR(blk)
 	set[victim] = line{tag: tag, valid: true, dirty: m.markDirty, lru: c.clock}
+	// Waiters fire directly instead of bouncing through the scheduler at
+	// zero delay: they only mark their own window entry (or upstream
+	// MSHR) complete, so their order relative to other same-cycle events
+	// is immaterial, and the detour through the event heap costs a
+	// push+pop per miss on the hottest path in the simulator. now is not
+	// threaded through fill; waiters ignore their argument's absolute
+	// value (completion bookkeeping is cycle-exact via the scheduler
+	// events that triggered this fill).
 	for i, w := range m.waiters {
-		c.sched.After(0, w)
+		w(0)
 		m.waiters[i] = nil
 	}
 	m.waiters = m.waiters[:0]

@@ -77,6 +77,19 @@ type Core struct {
 	pending    TraceRecord
 	hasPending bool
 
+	// pendingFills counts window entries whose load has not completed
+	// yet (inserted not-done, completion callback still outstanding).
+	// Zero means every in-window entry is retirable, the precondition
+	// for the fastest closed-form batch execution of bubble runs.
+	pendingFills int
+	// avail is the length of the run of completed entries at the window
+	// head: done[head .. head+avail) are all true and entry head+avail
+	// (if within the window) still waits on its load. Maintained
+	// incrementally — retires shrink it, completions extend it, each
+	// entry joining the run exactly once — so the cycle-skipping engine
+	// can size retire batches in O(1) per query.
+	avail int
+
 	// Progress.
 	Retired int64
 	// TargetInsts, when reached, records FinishedAt once; the core keeps
@@ -86,8 +99,9 @@ type Core struct {
 	FinishedAt  int64 // cycle Retired first reached TargetInsts; 0 if not yet
 
 	// Stats.
-	LoadStalls int64 // cycles issue stopped because L1 refused (MSHRs full)
-	WindowFull int64 // cycles issue stopped on a full window
+	LoadStalls  int64 // cycles issue stopped on a refused load (MSHRs full)
+	StoreStalls int64 // cycles issue stopped on a refused store (MSHRs full)
+	WindowFull  int64 // cycles issue stopped on a full window
 }
 
 // New builds a core reading trace and accessing the hierarchy through l1.
@@ -112,8 +126,10 @@ func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int
 	for i := range c.onDone {
 		slot := i
 		c.onDone[i] = func(int64) {
-			if c.epoch[slot] == c.issueEp[slot] {
+			if c.epoch[slot] == c.issueEp[slot] && !c.done[slot] {
 				c.done[slot] = true
+				c.pendingFills--
+				c.extendAvail(slot)
 			}
 		}
 	}
@@ -143,7 +159,11 @@ func (c *Core) Tick(now int64) {
 	// Retire.
 	for r := 0; r < c.cfg.RetireWidth && c.count > 0 && c.done[c.head]; r++ {
 		c.done[c.head] = false
-		c.head = (c.head + 1) % c.cfg.WindowSize
+		c.avail--
+		c.head++
+		if c.head == c.cfg.WindowSize {
+			c.head = 0
+		}
 		c.count--
 		c.Retired++
 		if c.FinishedAt == 0 && c.Retired >= c.TargetInsts {
@@ -171,7 +191,7 @@ func (c *Core) Tick(now int64) {
 			// Stores retire immediately; the write continues through the
 			// hierarchy in the background.
 			if !c.l1.Access(c.pending.Addr, true, nil) {
-				c.LoadStalls++
+				c.StoreStalls++
 				return // retry next cycle
 			}
 			c.insert(true)
@@ -216,8 +236,9 @@ func (c *Core) NextWake(now int64) int64 {
 // AccountSkipped credits the stall counters for cycles the run loop
 // skipped while the core was fully blocked (NextWake == MaxInt64). The
 // dense loop would have ticked the core each of those cycles, recording
-// one window-full cycle, or one refused issue attempt (a load stall plus
-// an L1 retry), so the diagnostic statistics stay engine-independent.
+// one window-full cycle, or one refused issue attempt (a load or store
+// stall plus an L1 retry), so the diagnostic statistics stay
+// engine-independent.
 func (c *Core) AccountSkipped(cycles int64) {
 	if cycles <= 0 {
 		return
@@ -226,16 +247,262 @@ func (c *Core) AccountSkipped(cycles int64) {
 		c.WindowFull += cycles
 		return
 	}
-	c.LoadStalls += cycles
+	if c.pending.IsWrite {
+		c.StoreStalls += cycles
+	} else {
+		c.LoadStalls += cycles
+	}
 	c.l1.AccountRefused(c.pending.IsWrite, cycles)
+}
+
+// BatchableCycles reports how many upcoming cycles — starting at the
+// cycle after the current one — the core can execute in closed form
+// instead of cycle-by-cycle Ticks. A cycle is batchable when its dense
+// execution is fully determined: the pending trace record still holds
+// at least a full issue group of bubbles (so issue touches no cache and
+// fetches no trace record), and retirement is predictable — either the
+// whole window is retirable, or the run of retirable entries at the
+// head is long enough that every batched cycle retires a full group
+// before reaching the first entry still waiting on a load. Outstanding
+// loads only complete through scheduler events, and the run loop never
+// jumps past a pending event, so the retirable run cannot grow inside
+// the batch. The count is capped at the cycle the core would reach its
+// instruction target, so the run loop observes the finish exactly where
+// the dense loop would.
+//
+// Returns 0 when the next cycle must be executed normally.
+func (c *Core) BatchableCycles() int64 {
+	if !c.hasPending || c.cfg.IssueWidth != c.cfg.RetireWidth {
+		return 0
+	}
+	iw := int64(c.cfg.IssueWidth)
+	// Cycles the dense loop would spend issuing only bubbles: a cycle
+	// issues IssueWidth of them iff that many remain at its start.
+	n := int64(c.pending.Bubbles) / iw
+	if n <= 0 {
+		return 0
+	}
+	if c.pendingFills == 0 {
+		// Whole window retirable: issue refills what retire drains, so
+		// the regime holds for the entire bubble run.
+		if c.FinishedAt == 0 {
+			if k := c.cyclesToTarget(); k < n {
+				n = k
+			}
+		}
+		return n
+	}
+	// Loads in flight: retirement stops at the first not-done entry.
+	avail := c.retirableRun()
+	if avail >= iw {
+		// Full-group retire+issue cycles until the retirable run shrinks
+		// below one group; occupancy is stable, so no window-full cycles.
+		if m := avail / iw; m < n {
+			n = m
+		}
+		if c.FinishedAt == 0 {
+			need := c.TargetInsts - c.Retired
+			if need < 1 {
+				need = 1
+			}
+			if k := (need + iw - 1) / iw; k < n {
+				n = k
+			}
+		}
+		return n
+	}
+	// Head (nearly) blocked: the first cycle retires the remaining short
+	// run, after which bubbles accumulate at issue width. Stop before the
+	// window fills so no cycle is issue-limited (window-full cycles are
+	// the blocked path's business).
+	if m := (int64(c.cfg.WindowSize) - int64(c.count) + avail) / iw; m < n {
+		n = m
+	}
+	if n <= 0 {
+		return 0
+	}
+	if c.FinishedAt == 0 && c.TargetInsts-c.Retired <= avail {
+		n = 1 // crossing happens on the batch's first (only retiring) cycle
+	}
+	return n
+}
+
+// retirableRun returns the length of the run of completed entries at the
+// window head — how many instructions can retire before the first entry
+// still waiting on its load.
+func (c *Core) retirableRun() int64 { return int64(c.avail) }
+
+// cyclesToTarget returns the batched-cycle index (1-based) at which the
+// retire stream crosses TargetInsts in the all-done regime: the first
+// cycle retires min(RetireWidth, count) entries, every later one a full
+// RetireWidth (the window refills at issue width each cycle).
+func (c *Core) cyclesToTarget() int64 {
+	r0 := int64(c.cfg.RetireWidth)
+	if int64(c.count) < r0 {
+		r0 = int64(c.count)
+	}
+	need := c.TargetInsts - c.Retired
+	if need < 1 {
+		// Only reachable with a zero/negative target: the crossing still
+		// needs one actual retire, so it lands on the first retiring cycle.
+		need = 1
+	}
+	if need <= r0 {
+		return 1
+	}
+	r := int64(c.cfg.RetireWidth)
+	return 1 + (need-r0+r-1)/r
+}
+
+// AdvanceBatch fast-forwards the core over `cycles` skipped cycles (the
+// cycles now+1 .. now+cycles, which the run loop will not execute) by
+// applying the closed-form bubble execution. The caller must have
+// established batchability (BatchableCycles() >= cycles) for the
+// current state; the run loop computes that once during its wake scan
+// and dispatches here without re-deriving it. Blocked cores take
+// AccountSkipped instead.
+func (c *Core) AdvanceBatch(now, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	if c.pendingFills == 0 {
+		c.advanceAllDone(now, cycles)
+	} else {
+		c.advanceInFlight(now, cycles)
+	}
+}
+
+// advanceAllDone applies `cycles` bubble cycles over a fully retirable
+// window. Instead of sliding the ring buffer — whose absolute position
+// is unobservable: retire/issue only read done/epoch relative to head
+// and tail, and the epoch guard only compares values recorded at issue
+// — the window is left in place and only grown to its steady-state
+// occupancy, so the cost is O(RetireWidth) regardless of span.
+func (c *Core) advanceAllDone(now, cycles int64) {
+	r := int64(c.cfg.RetireWidth)
+	r0 := r
+	if int64(c.count) < r0 {
+		r0 = int64(c.count)
+	}
+	retired := r0 + r*(cycles-1)
+	c.pending.Bubbles -= int(int64(c.cfg.IssueWidth) * cycles)
+	// Resolve the target-crossing cycle before mutating Retired, with
+	// the same formula BatchableCycles used to cap the batch (the cap
+	// puts the crossing on the batch's last cycle).
+	crossAt := int64(0)
+	if c.FinishedAt == 0 && c.Retired+retired >= c.TargetInsts {
+		crossAt = now + c.cyclesToTarget()
+	}
+	c.Retired += retired
+	if crossAt > 0 {
+		c.FinishedAt = crossAt
+	}
+	// Steady-state occupancy: a window below RetireWidth refills to it on
+	// the first cycle (retire everything, issue a full group) and then
+	// holds; a larger window retires and issues in lockstep.
+	for int64(c.count) < r {
+		c.insert(true)
+	}
+}
+
+// advanceInFlight applies `cycles` bubble cycles while loads are in
+// flight. Here the not-done entries pin absolute ring positions (their
+// completion callbacks write their physical slots), so the ring is
+// updated exactly as the dense per-cycle loop would: retired entries
+// are cleared off the head, issued bubbles inserted at the tail.
+func (c *Core) advanceInFlight(now, cycles int64) {
+	iw := int64(c.cfg.IssueWidth)
+	avail := c.retirableRun()
+	var retired int64
+	if avail >= iw {
+		retired = iw * cycles // full retire group every batched cycle
+	} else {
+		retired = avail // first cycle drains the run; the rest retire 0
+	}
+	for k := int64(0); k < retired; k++ {
+		c.done[c.head] = false
+		c.head++
+		if c.head == c.cfg.WindowSize {
+			c.head = 0
+		}
+	}
+	c.count -= int(retired)
+	c.avail -= int(retired)
+	c.Retired += retired
+	if c.FinishedAt == 0 && c.Retired >= c.TargetInsts {
+		need := c.TargetInsts - (c.Retired - retired)
+		if need < 1 {
+			need = 1
+		}
+		k := int64(1)
+		if avail >= iw {
+			k = (need + iw - 1) / iw
+		}
+		c.FinishedAt = now + k
+	}
+	c.pending.Bubbles -= int(iw * cycles)
+	// Tight bubble-insert loop: the generic insert pays a wrap check and
+	// pendingFills/avail bookkeeping per entry; here every entry is a
+	// completed bubble behind a pending load, so only the done flags need
+	// writing. The epoch bump is skipped too: epochs disambiguate slot
+	// reuse for *load* completion callbacks, every callback fires exactly
+	// once before its entry can retire, and the `!done` guard already
+	// rejects a (hypothetical) stale fire while a bubble occupies the
+	// slot — a bubble entry is done for its whole residence. Epoch values
+	// are only ever compared against issueEp recorded at load issue, so
+	// skipping bumps for bubbles leaves that relation intact.
+	ins := int(iw * cycles)
+	w := c.cfg.WindowSize
+	t := c.tail
+	for k := 0; k < ins; k++ {
+		c.done[t] = true
+		t++
+		if t == w {
+			t = 0
+		}
+	}
+	c.tail = t
+	c.count += ins
 }
 
 // insert places one instruction at the window tail.
 func (c *Core) insert(done bool) {
 	c.done[c.tail] = done
+	if !done {
+		c.pendingFills++
+	} else if c.avail == c.count {
+		c.avail++ // the retirable head run reaches the tail: extend it
+	}
 	c.epoch[c.tail]++
-	c.tail = (c.tail + 1) % c.cfg.WindowSize
+	c.tail++
+	if c.tail == c.cfg.WindowSize {
+		c.tail = 0
+	}
 	c.count++
+}
+
+// extendAvail grows the retirable head run after the entry in `slot`
+// completed. Only a completion at the run's exact end extends it; the
+// run then absorbs any already-completed entries behind it. Each entry
+// is absorbed exactly once, so the maintenance is O(1) amortized.
+func (c *Core) extendAvail(slot int) {
+	end := c.head + c.avail
+	if end >= c.cfg.WindowSize {
+		end -= c.cfg.WindowSize
+	}
+	if slot != end {
+		return
+	}
+	for c.avail < c.count {
+		i := c.head + c.avail
+		if i >= c.cfg.WindowSize {
+			i -= c.cfg.WindowSize
+		}
+		if !c.done[i] {
+			break
+		}
+		c.avail++
+	}
 }
 
 // WindowOccupancy returns the number of in-flight window entries.

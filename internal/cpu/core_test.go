@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cache"
@@ -189,8 +190,11 @@ func TestStoreMissesThrottleOnMSHRs(t *testing.T) {
 	if !c.Done() {
 		t.Fatal("store-miss core never finished")
 	}
-	if c.LoadStalls == 0 {
-		t.Error("expected MSHR-full stalls for distinct-address stores")
+	if c.StoreStalls == 0 {
+		t.Error("expected MSHR-full store stalls for distinct-address stores")
+	}
+	if c.LoadStalls != 0 {
+		t.Errorf("pure-store trace credited %d load stalls", c.LoadStalls)
 	}
 }
 
@@ -237,5 +241,319 @@ func TestMSHRExhaustionStallsIssue(t *testing.T) {
 func TestNewRejectsNilDeps(t *testing.T) {
 	if _, err := New(0, DefaultConfig(), nil, nil, 10); err == nil {
 		t.Error("accepted nil trace and l1")
+	}
+}
+
+// TestAccountSkippedCreditsRightCounter exercises the skip-credit path
+// directly: a core blocked on a refused load must accrue LoadStalls, a
+// core blocked on a refused store StoreStalls, and a core with a full
+// window WindowFull — exactly what the dense loop's per-cycle retries
+// would have recorded.
+func TestAccountSkippedCreditsRightCounter(t *testing.T) {
+	block := func(isWrite bool) *Core {
+		// Distinct-address accesses with no bubbles exhaust the 8 L1
+		// MSHRs; the slow memory (never completes within the driven
+		// window) keeps them exhausted, so the pending access is refused.
+		recs := make([]TraceRecord, 64)
+		for i := range recs {
+			recs[i] = TraceRecord{Addr: uint64(i) * 64 * 1024, IsWrite: isWrite}
+		}
+		c, s, _ := newCore(t, recs, 1_000_000, 1<<40)
+		for ; s.now < 64; s.now++ {
+			s.fire()
+			c.Tick(s.now)
+		}
+		if c.NextWake(s.now) != int64(math.MaxInt64) {
+			t.Fatal("core not blocked after MSHR exhaustion")
+		}
+		return c
+	}
+
+	c := block(false)
+	loads, stores := c.LoadStalls, c.StoreStalls
+	c.AccountSkipped(100)
+	if c.LoadStalls != loads+100 || c.StoreStalls != stores {
+		t.Errorf("blocked load credited (load=%d store=%d), want load +100",
+			c.LoadStalls-loads, c.StoreStalls-stores)
+	}
+
+	c = block(true)
+	loads, stores = c.LoadStalls, c.StoreStalls
+	c.AccountSkipped(100)
+	if c.StoreStalls != stores+100 || c.LoadStalls != loads {
+		t.Errorf("blocked store credited (load=%d store=%d), want store +100",
+			c.LoadStalls-loads, c.StoreStalls-stores)
+	}
+
+	// Full window: loads that never complete fill all 256 entries.
+	recs := []TraceRecord{{Bubbles: 1 << 30}}
+	c, _, _ = newCore(t, recs, 1_000_000, 1<<40)
+	c.count = c.cfg.WindowSize // simulate a filled window
+	full := c.WindowFull
+	c.AccountSkipped(7)
+	if c.WindowFull != full+7 {
+		t.Errorf("full window credited %d, want 7", c.WindowFull-full)
+	}
+}
+
+// batchCore builds a core over an endless pure-bubble trace (no memory
+// traffic, so no events) and ticks it a few cycles to reach a running
+// state.
+func batchCore(t *testing.T, bubbles int, target int64, warm int64) (*Core, *sched) {
+	t.Helper()
+	c, s, _ := newCore(t, []TraceRecord{{Bubbles: bubbles}}, 10, target)
+	for ; s.now < warm; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+	}
+	return c, s
+}
+
+// TestAdvanceMatchesDenseTicks is the unit-level equivalence check for
+// the closed-form bubble batch: after Advance(now, k), the core must be
+// observably identical to a twin that executed the same k cycles with
+// per-cycle Ticks — immediately and on every subsequent cycle.
+func TestAdvanceMatchesDenseTicks(t *testing.T) {
+	for _, span := range []int64{1, 2, 3, 17, 300} {
+		batched, s := batchCore(t, 1<<20, 1<<40, 7)
+		dense, _ := batchCore(t, 1<<20, 1<<40, 7)
+
+		now := s.now
+		k := batched.BatchableCycles()
+		if k < span {
+			t.Fatalf("span %d: BatchableCycles = %d, test needs more headroom", span, k)
+		}
+		batched.AdvanceBatch(now-1, span)
+		for j := int64(0); j < span; j++ {
+			dense.Tick(now + j)
+		}
+		// The ring position is internal; everything observable must match.
+		if batched.Retired != dense.Retired ||
+			batched.WindowOccupancy() != dense.WindowOccupancy() ||
+			batched.pending.Bubbles != dense.pending.Bubbles ||
+			batched.FinishedAt != dense.FinishedAt {
+			t.Fatalf("span %d diverged: batched (ret=%d occ=%d bub=%d fin=%d) dense (ret=%d occ=%d bub=%d fin=%d)",
+				span, batched.Retired, batched.WindowOccupancy(), batched.pending.Bubbles, batched.FinishedAt,
+				dense.Retired, dense.WindowOccupancy(), dense.pending.Bubbles, dense.FinishedAt)
+		}
+		// Keep ticking both densely: behaviour must stay in lockstep.
+		for j := int64(0); j < 50; j++ {
+			at := now + span + j
+			batched.Tick(at)
+			dense.Tick(at)
+			if batched.Retired != dense.Retired {
+				t.Fatalf("span %d: post-batch cycle %d retired %d vs %d",
+					span, at, batched.Retired, dense.Retired)
+			}
+		}
+	}
+}
+
+// TestAdvanceCrossesTargetWhereDenseWould pins the batch cap: a batch
+// that reaches the instruction target must record FinishedAt on exactly
+// the cycle the dense loop would have.
+func TestAdvanceCrossesTargetWhereDenseWould(t *testing.T) {
+	for _, target := range []int64{20, 21, 22, 23, 100} {
+		batched, _ := batchCore(t, 1<<20, target, 3)
+		dense, _ := batchCore(t, 1<<20, target, 3)
+
+		now := int64(3)
+		k := batched.BatchableCycles()
+		if k <= 0 {
+			t.Fatalf("target %d: core not batchable", target)
+		}
+		batched.AdvanceBatch(now-1, k)
+		var j int64
+		for ; !dense.Done() && j < 10*k; j++ {
+			dense.Tick(now + j)
+		}
+		if !batched.Done() {
+			t.Fatalf("target %d: batch of %d cycles did not finish the core", target, k)
+		}
+		if batched.FinishedAt != dense.FinishedAt || batched.Retired != dense.Retired {
+			t.Errorf("target %d: batched fin=%d ret=%d, dense fin=%d ret=%d",
+				target, batched.FinishedAt, batched.Retired, dense.FinishedAt, dense.Retired)
+		}
+	}
+}
+
+// TestBatchableCyclesGating verifies the batch preconditions: no batch
+// without a buffered record, never more cycles than the bubble run
+// sustains, and — with loads in flight — never past the point where
+// retirement would reach an entry still waiting on its fill.
+func TestBatchableCyclesGating(t *testing.T) {
+	// A fresh core has no pending record: not batchable.
+	c, s, _ := newCore(t, []TraceRecord{{Bubbles: 90}}, 50, 1<<40)
+	if got := c.BatchableCycles(); got != 0 {
+		t.Errorf("fresh core batchable for %d cycles", got)
+	}
+	// After one tick it holds a bubble run: batchable, capped at B/issue.
+	s.fire()
+	c.Tick(0)
+	want := int64(c.pending.Bubbles / c.cfg.IssueWidth)
+	if got := c.BatchableCycles(); got != want {
+		t.Errorf("BatchableCycles = %d, want %d", got, want)
+	}
+	// With load misses in flight, a batch must keep every cycle fully
+	// determined: full retire groups only within the retirable head run,
+	// and never a cycle that would overflow the window.
+	recs := make([]TraceRecord, 64)
+	for i := range recs {
+		recs[i] = TraceRecord{Bubbles: 300, Addr: uint64(i) * 64 * 1024}
+	}
+	c, s, _ = newCore(t, recs, 40, 1<<40)
+	for ; s.now < 200; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+		if c.pendingFills == 0 {
+			continue
+		}
+		got := c.BatchableCycles()
+		if got == 0 {
+			continue
+		}
+		iw := int64(c.cfg.IssueWidth)
+		if max := int64(c.pending.Bubbles) / iw; got > max {
+			t.Fatalf("cycle %d: batch %d exceeds bubble supply (%d)", s.now, got, max)
+		}
+		avail := c.retirableRun()
+		if avail >= iw {
+			if got > avail/iw {
+				t.Fatalf("cycle %d: batch %d retires past the head run (%d retirable)",
+					s.now, got, avail)
+			}
+		} else if int64(c.count)-avail+iw*got > int64(c.cfg.WindowSize) {
+			t.Fatalf("cycle %d: batch %d overflows the window (count %d, avail %d)",
+				s.now, got, c.count, avail)
+		}
+	}
+}
+
+// scanAvail recomputes the retirable head run from scratch.
+func scanAvail(c *Core) int {
+	n := 0
+	i := c.head
+	for n < c.count && c.done[i] {
+		n++
+		i++
+		if i == c.cfg.WindowSize {
+			i = 0
+		}
+	}
+	return n
+}
+
+// TestAvailInvariant drives mixed traces (hits, misses, stores, MSHR
+// pressure) and checks every cycle that the incrementally maintained
+// retirable-run length matches a fresh scan of the window.
+func TestAvailInvariant(t *testing.T) {
+	for _, bubbles := range []int{0, 2, 40, 200} {
+		recs := make([]TraceRecord, 512)
+		for i := range recs {
+			recs[i] = TraceRecord{
+				Bubbles: bubbles,
+				Addr:    uint64(i%97) * 64 * 257, // mix of reuse and misses
+				IsWrite: i%5 == 0,
+			}
+		}
+		c, s, _ := newCore(t, recs, 60, 1<<40)
+		for ; s.now < 5_000; s.now++ {
+			s.fire()
+			c.Tick(s.now)
+			if got, want := c.avail, scanAvail(c); got != want {
+				t.Fatalf("bubbles=%d cycle %d: avail=%d, scan=%d", bubbles, s.now, got, want)
+			}
+			if b := c.BatchableCycles(); b > 0 {
+				// Exercise the batch paths under the invariant too.
+				c.AdvanceBatch(s.now, b)
+				s.now += b
+				if got, want := c.avail, scanAvail(c); got != want {
+					t.Fatalf("bubbles=%d post-batch cycle %d: avail=%d, scan=%d", bubbles, s.now, got, want)
+				}
+			}
+		}
+	}
+}
+
+// inflightCore drives a core over a bubbles+loads trace until it has at
+// least one load in flight and a batchable bubble run, then returns it.
+func inflightCore(t *testing.T, bubbles int, latency int64, target int64) (*Core, *sched) {
+	t.Helper()
+	recs := make([]TraceRecord, 4096)
+	for i := range recs {
+		recs[i] = TraceRecord{Bubbles: bubbles, Addr: uint64(i) * 64 * 1024}
+	}
+	c, s, _ := newCore(t, recs, latency, target)
+	for ; s.now < 100_000; s.now++ {
+		s.fire()
+		c.Tick(s.now)
+		if c.pendingFills > 0 && c.BatchableCycles() > 0 {
+			s.now++
+			return c, s
+		}
+	}
+	t.Fatal("core never reached an in-flight batchable state")
+	return nil, nil
+}
+
+// TestAdvanceInFlightMatchesDenseTicks checks the closed form with loads
+// outstanding: within the event horizon (no fill completes), Advance
+// must leave the core bit-identical to per-cycle Ticks — including the
+// ring itself, since pending fills pin absolute slot positions.
+func TestAdvanceInFlightMatchesDenseTicks(t *testing.T) {
+	for _, bubbles := range []int{120, 250, 1000} {
+		batched, s := inflightCore(t, bubbles, 400, 1<<40)
+		dense, sd := inflightCore(t, bubbles, 400, 1<<40)
+		if s.now != sd.now {
+			t.Fatalf("twin cores diverged during warmup: %d vs %d", s.now, sd.now)
+		}
+		now := s.now
+		// Cap the batch at the twins' next scheduled event, as the run
+		// loop would.
+		span := batched.BatchableCycles()
+		for _, ev := range s.events {
+			if h := ev.at - now; h < span {
+				span = h
+			}
+		}
+		if span <= 0 {
+			continue
+		}
+		batched.AdvanceBatch(now-1, span)
+		for j := int64(0); j < span; j++ {
+			dense.Tick(now + j)
+		}
+		if batched.Retired != dense.Retired ||
+			batched.head != dense.head || batched.tail != dense.tail ||
+			batched.count != dense.count ||
+			batched.pending.Bubbles != dense.pending.Bubbles {
+			t.Fatalf("bubbles=%d span=%d: batched (ret=%d head=%d tail=%d count=%d bub=%d) dense (ret=%d head=%d tail=%d count=%d bub=%d)",
+				bubbles, span,
+				batched.Retired, batched.head, batched.tail, batched.count, batched.pending.Bubbles,
+				dense.Retired, dense.head, dense.tail, dense.count, dense.pending.Bubbles)
+		}
+		// Epochs are not compared: the batch skips bubble epoch bumps by
+		// design (they only guard load-slot reuse), so only the done
+		// flags must be bit-identical.
+		for i := range batched.done {
+			if batched.done[i] != dense.done[i] {
+				t.Fatalf("bubbles=%d span=%d: slot %d done diverged (%v vs %v)",
+					bubbles, span, i, batched.done[i], dense.done[i])
+			}
+		}
+		// Let the outstanding fills land and the traces play on: the twins
+		// must stay in lockstep.
+		for j := int64(0); j < 2000; j++ {
+			at := now + span + j
+			s.now, sd.now = at, at
+			s.fire()
+			sd.fire()
+			batched.Tick(at)
+			dense.Tick(at)
+			if batched.Retired != dense.Retired {
+				t.Fatalf("bubbles=%d: post-batch cycle %d retired %d vs %d",
+					bubbles, at, batched.Retired, dense.Retired)
+			}
+		}
 	}
 }

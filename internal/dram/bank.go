@@ -195,13 +195,6 @@ func (b *Bank) ForceClose() {
 	}
 }
 
-// delayColumn pushes back the earliest read/write issue cycles; used by
-// the rank for bus and bank-group constraints (tCCD, tWTR, tRTW).
-func (b *Bank) delayColumn(rd, wr int64) {
-	b.nextRD = maxI64(b.nextRD, rd)
-	b.nextWR = maxI64(b.nextWR, wr)
-}
-
 // delayACT pushes back the earliest activate cycle; used by the rank for
 // tRRD and tFAW.
 func (b *Bank) delayACT(at int64) { b.nextACT = maxI64(b.nextACT, at) }

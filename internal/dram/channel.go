@@ -23,9 +23,17 @@ type Channel struct {
 	// Data-bus state: the kind and data-end cycle of the last column
 	// command, for read/write turnaround penalties. Same-direction bursts
 	// pipeline behind the CAS latency, so their spacing is governed by
-	// tCCD (applied bank-wide in noteColumn), not by the full CL+BL.
+	// tCCD, not by the full CL+BL.
 	lastColType CmdType
 	lastColEnd  int64 // last data beat cycle of the previous column burst
+
+	// Column-to-column (tCCD) windows, kept at channel level instead of
+	// being fanned out to every bank on each column issue: colReadyS is
+	// the earliest next column anywhere in the channel (tCCD_S), and
+	// colReadyL[rank*groups+group] the earliest within the last command's
+	// bank group (tCCD_L).
+	colReadyS int64
+	colReadyL []int64
 
 	// Trace, if enabled, records every issued command (tests/debugging).
 	Trace        []CommandTrace
@@ -57,6 +65,7 @@ func NewChannel(geo Geometry, slow Timing, fast Timing, allFast bool) (*Channel,
 	c.lastACT = make([]int64, geo.Ranks)
 	c.nextREF = make([]int64, geo.Ranks)
 	c.refPending = make([]bool, geo.Ranks)
+	c.colReadyL = make([]int64, geo.Ranks*geo.BankGroups)
 	for r := range c.nextREF {
 		c.nextREF[r] = int64(slow.REFI)
 		c.lastACT[r] = -int64(slow.RRDL)
@@ -94,12 +103,14 @@ func (c *Channel) CanIssue(cmd Command, now int64) (at int64, ok bool) {
 		if !ok {
 			return 0, false
 		}
+		at = c.colReady(at, cmd.Loc)
 		return c.busReady(at, CmdRD), true
 	case CmdWR:
 		at, ok = bank.CanWR(now, cmd.Loc.CacheRow, cmd.Loc.Row)
 		if !ok {
 			return 0, false
 		}
+		at = c.colReady(at, cmd.Loc)
 		return c.busReady(at, CmdWR), true
 	case CmdREF:
 		// All banks in the rank must be precharged.
@@ -199,21 +210,32 @@ func (c *Channel) busReady(at int64, k CmdType) int64 {
 	return at
 }
 
-// noteColumn records data-bus occupancy and propagates column-to-column
-// constraints (tCCD) to all banks. We conservatively apply tCCD_L within
-// the same bank group and tCCD_S across groups.
+// noteColumn records data-bus occupancy and the column-to-column
+// constraints (tCCD). We conservatively apply tCCD_L within the same
+// bank group and tCCD_S across groups; colReady consults the windows at
+// issue-check time, so nothing is fanned out per bank.
 func (c *Channel) noteColumn(cmd Command, at, end int64) {
 	c.lastColType = cmd.Type
 	c.lastColEnd = end
-	for id, b := range c.banks {
-		rank := id / c.Geo.BanksPerRank()
-		grp := (id % c.Geo.BanksPerRank()) / c.Geo.BanksPerGroup
-		ccd := int64(c.Slow.CCDS)
-		if rank == cmd.Loc.Rank && grp == cmd.Loc.Group {
-			ccd = int64(c.Slow.CCDL)
-		}
-		b.delayColumn(at+ccd, at+ccd)
+	if t := at + int64(c.Slow.CCDS); t > c.colReadyS {
+		c.colReadyS = t
 	}
+	g := cmd.Loc.Rank*c.Geo.BankGroups + cmd.Loc.Group
+	if t := at + int64(c.Slow.CCDL); t > c.colReadyL[g] {
+		c.colReadyL[g] = t
+	}
+}
+
+// colReady applies the channel-level tCCD windows to a column command's
+// earliest issue cycle.
+func (c *Channel) colReady(at int64, loc Location) int64 {
+	if c.colReadyS > at {
+		at = c.colReadyS
+	}
+	if l := c.colReadyL[loc.Rank*c.Geo.BankGroups+loc.Group]; l > at {
+		at = l
+	}
+	return at
 }
 
 // NextRefresh returns the earliest cycle at which RefreshDue will report

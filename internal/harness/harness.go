@@ -6,8 +6,10 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,10 +39,15 @@ func QuickScale() Scale {
 	return Scale{Insts: 60_000, SingleApps: 4, MixesPerCategory: 1, MCIterations: 500}
 }
 
-// DefaultScale is the figbench default: every workload at a laptop-scale
-// instruction budget.
+// DefaultScale is the figbench default: every workload (all 20 single-
+// core applications and all 5 mixes per category, the full matrix) at a
+// laptop-scale instruction budget. The budget was raised 400k -> 1M
+// instructions per core once batched core execution and the
+// allocation-free access path lifted simulator throughput; longer runs
+// give the in-DRAM cache more reuse to exploit, so the full-scale
+// figures sit closer to the paper's steady-state numbers.
 func DefaultScale() Scale {
-	return Scale{Insts: 400_000, SingleApps: 20, MixesPerCategory: 5, MCIterations: 10_000}
+	return Scale{Insts: 1_000_000, SingleApps: 20, MixesPerCategory: 5, MCIterations: 20_000}
 }
 
 // Runner executes and caches simulation runs.
@@ -81,7 +88,10 @@ type job struct {
 }
 
 // runAll executes jobs in parallel (deduplicated against the cache) and
-// returns results by key.
+// returns results by key. When jobs fail, every failure is reported —
+// one line per job key, in deterministic (sorted) order — so a large
+// batch with several broken configurations surfaces all of them at
+// once instead of hiding siblings behind the first error.
 func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 	out := make(map[string]sim.Result, len(jobs))
 	var todo []job
@@ -102,7 +112,7 @@ func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 		sem := make(chan struct{}, r.scale.Parallelism)
 		var wg sync.WaitGroup
 		var mu sync.Mutex
-		var firstErr error
+		var failures []error
 		for _, j := range todo {
 			wg.Add(1)
 			go func(j job) {
@@ -117,9 +127,7 @@ func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: %w", j.key, err)
-					}
+					failures = append(failures, fmt.Errorf("%s: %w", j.key, err))
 					return
 				}
 				out[j.key] = res
@@ -137,8 +145,14 @@ func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
 		}
 		r.simWall += time.Since(batchStart)
 		r.mu.Unlock()
-		if firstErr != nil {
-			return nil, firstErr
+		if len(failures) > 0 {
+			// Goroutine completion order is nondeterministic; sort so the
+			// report (and tests over it) are stable.
+			sort.Slice(failures, func(i, k int) bool {
+				return failures[i].Error() < failures[k].Error()
+			})
+			return nil, fmt.Errorf("harness: %d of %d jobs failed: %w",
+				len(failures), len(todo), errors.Join(failures...))
 		}
 	}
 	return out, nil

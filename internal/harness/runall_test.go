@@ -2,6 +2,7 @@ package harness
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -51,6 +52,42 @@ func TestRunAllCachesSuccessesOnError(t *testing.T) {
 	}
 	if r.SimCycles() != cyclesBefore {
 		t.Errorf("retry recomputed a cached run (sim cycles %d -> %d)", cyclesBefore, r.SimCycles())
+	}
+}
+
+// TestRunAllReportsAllFailures verifies that a batch with several broken
+// jobs reports every failed key, not just the first error the worker
+// pool happened to hit.
+func TestRunAllReportsAllFailures(t *testing.T) {
+	r, good := testRunner(t)
+	badTarget := good
+	badTarget.TargetInsts = -1 // rejected by sim.New
+	badMix := good
+	badMix.Mix.Apps = nil // rejected by sim.New for a different reason
+
+	_, err := r.runAll([]job{
+		{key: "bad-target", cfg: badTarget},
+		{key: "ok", cfg: good},
+		{key: "bad-mix", cfg: badMix},
+	})
+	if err == nil {
+		t.Fatal("runAll accepted a batch with two invalid configs")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad-target", "bad-mix", "2 of 3 jobs failed"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "ok:") {
+		t.Errorf("error %q implicates the successful job", msg)
+	}
+	// The successful sibling must still have been cached.
+	r.mu.Lock()
+	_, cached := r.cache["ok"]
+	r.mu.Unlock()
+	if !cached {
+		t.Error("successful run was not cached alongside two failures")
 	}
 }
 

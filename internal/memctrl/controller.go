@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dram"
+	"repro/internal/stats"
 )
 
 // CacheHook is the interface through which an in-DRAM cache (FIGCache or
@@ -67,6 +68,9 @@ type Config struct {
 	// deferred design is ablated against: it steals row hits from queued
 	// requests and occupies hot banks at their busiest moment.
 	ImmediateReloc bool
+	// LatSampleCap bounds the per-controller read-latency sample
+	// reservoir; 0 selects the default (2048 samples).
+	LatSampleCap int
 }
 
 // DefaultConfig returns the 64-entry read/write queues from Table 1.
@@ -108,8 +112,10 @@ type Controller struct {
 	// hierarchy.
 	lastColumn []int64
 	// claimed is scratch space for the FR-FCFS pass-2 bank ownership
-	// scan, reused across ticks to avoid a per-tick allocation.
-	claimed []bool
+	// scan: claimed[bank] == claimGen marks the bank owned this scan, so
+	// the mark array needs neither per-tick allocation nor clearing.
+	claimed  []int64
+	claimGen int64
 	// lastTick is the bus cycle of the previous Tick call, used to credit
 	// the write-drain diagnostic for ticks a cycle-skipping caller
 	// elided; -1 before the first tick.
@@ -124,13 +130,26 @@ type Controller struct {
 
 	// Diagnostics for calibration and latency-composition analysis.
 	MaxReadQ, MaxWriteQ int
-	WritingCycles       int64   // bus cycles spent in write-drain mode
-	LatSamples          []int64 // per-read latency samples (bus cycles)
+	WritingCycles       int64 // bus cycles spent in write-drain mode
+	// latSamples keeps a bounded, deterministic reservoir of per-read
+	// latencies (bus cycles) instead of an unbounded append-per-read
+	// slice, so full-scale runs stop accumulating one int64 per read.
+	latSamples *stats.Reservoir
+
+	// Release, when non-nil, receives each request after the controller
+	// has fully served it (column command issued, completion callback
+	// scheduled, insertion bookkeeping done). The request creator uses it
+	// to recycle Request objects; the controller never touches a request
+	// after releasing it.
+	Release func(*Request)
 }
 
 // NewController builds a controller over the channel. cache may be nil for
 // the Base configuration.
 func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Controller {
+	if cfg.LatSampleCap == 0 {
+		cfg.LatSampleCap = 2048
+	}
 	return &Controller{
 		ID:            id,
 		cfg:           cfg,
@@ -140,8 +159,11 @@ func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Contr
 		writeQ:        newQueue(cfg.WriteQueueDepth),
 		pendingRelocs: make([][]*RelocPlan, ch.NumBanks()),
 		lastColumn:    make([]int64, ch.NumBanks()),
-		claimed:       make([]bool, ch.NumBanks()),
+		claimed:       make([]int64, ch.NumBanks()),
 		lastTick:      -1,
+		// Seed by controller ID so per-channel reservoirs differ but any
+		// two runs of the same configuration sample identically.
+		latSamples: stats.NewReservoir(cfg.LatSampleCap, uint64(id)+1),
 	}
 }
 
@@ -188,6 +210,8 @@ func (c *Controller) Enqueue(r *Request, now int64) {
 			}
 		}
 	}
+	r.bankID = r.ServiceLoc.BankID(c.channel.Geo)
+	r.bank = c.channel.BankByID(r.bankID)
 	if r.IsWrite {
 		c.writeQ.push(r)
 	} else {
@@ -413,8 +437,15 @@ func (c *Controller) flushIdleRelocs(now int64) (flushed bool, nextAt int64) {
 // enqueue — the run loop can skip the idle ticks in between.
 func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) (issued bool, nextAt int64) {
 	nextAt = math.MaxInt64
-	// Pass 1: row hits — column command ready now.
-	for i, r := range q.items {
+	// Pass 1: row hits — column command ready now. A request whose bank
+	// has a different (or no) row open cannot issue a column command at
+	// any time (CanIssue reports it structurally impossible), so the
+	// scan only prices out requests on currently open rows.
+	for i := 0; i < len(q.items); i++ {
+		r := q.items[i]
+		if !r.bank.IsOpen(r.ServiceLoc.CacheRow, r.ServiceLoc.Row) {
+			continue
+		}
 		cmd := c.columnCmd(r)
 		if at, ok := c.channel.CanIssue(cmd, now); ok {
 			if at <= now {
@@ -428,17 +459,17 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn fu
 	}
 	// Pass 2: oldest request first, issue ACT or PRE as needed. Each bank
 	// belongs to the oldest request targeting it: younger requests must
-	// not precharge a row an older request is still waiting on.
-	for i := range c.claimed {
-		c.claimed[i] = false
-	}
+	// not precharge a row an older request is still waiting on. The
+	// claim marks are generation-stamped so no per-tick clearing pass is
+	// needed.
+	c.claimGen++
 	for _, r := range q.items {
-		bankID := r.ServiceLoc.BankID(c.channel.Geo)
-		if c.claimed[bankID] {
+		bankID := r.bankID
+		if c.claimed[bankID] == c.claimGen {
 			continue
 		}
-		c.claimed[bankID] = true
-		bank := c.channel.Bank(r.ServiceLoc)
+		c.claimed[bankID] = c.claimGen
+		bank := r.bank
 		row, cacheRow := bank.Open()
 		if row == r.ServiceLoc.Row && cacheRow == r.ServiceLoc.CacheRow {
 			continue // waiting on tRCD; pass 1 covers its column command
@@ -453,7 +484,7 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn fu
 			if at, ok := c.channel.CanIssue(pre, now); ok {
 				if at <= now {
 					bank.RowConflict++
-					if c.flushRelocs(bankID, now, true) {
+					if c.flushRelocs(r.bankID, now, true) {
 						return true, now + 1
 					}
 					c.channel.Issue(pre, now)
@@ -492,16 +523,15 @@ func (c *Controller) columnCmd(r *Request) dram.Command {
 // triggers cache insertion for read misses (the relocation runs while the
 // just-accessed source row is still open).
 func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, fn func(int64))) {
-	bank := c.channel.Bank(r.ServiceLoc)
-	bank.RowHits++
-	c.lastColumn[r.ServiceLoc.BankID(c.channel.Geo)] = now
+	r.bank.RowHits++
+	c.lastColumn[r.bankID] = now
 	end := c.channel.Issue(c.columnCmd(r), now)
 	if r.IsWrite {
 		c.NumWrites++
 	} else {
 		c.NumReads++
 		c.ReadLatencySum += end - r.Arrive
-		c.LatSamples = append(c.LatSamples, end-r.Arrive)
+		c.latSamples.Add(end - r.Arrive)
 	}
 	if r.OnComplete != nil {
 		schedule(end, r.OnComplete)
@@ -526,6 +556,9 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 			}
 		}
 	}
+	if c.Release != nil {
+		c.Release(r)
+	}
 }
 
 // AvgReadLatencyNS returns the mean read latency (arrival to last data
@@ -535,6 +568,28 @@ func (c *Controller) AvgReadLatencyNS() float64 {
 		return 0
 	}
 	return c.channel.Slow.NS(c.ReadLatencySum) / float64(c.NumReads)
+}
+
+// LatencySamples returns the controller's bounded reservoir of per-read
+// latency samples (bus cycles): a uniform, deterministic sample of every
+// read the controller served. The slice aliases internal storage.
+func (c *Controller) LatencySamples() []int64 { return c.latSamples.Samples() }
+
+// ReadLatencyPercentilesNS returns the requested read-latency
+// percentiles (each in [0,1]) in nanoseconds, estimated from the sample
+// reservoir. The mean alone hides the tail that queueing and refresh
+// interference produce; the reservoir keeps the tail visible at O(1)
+// memory. Returns nil when no reads were sampled.
+func (c *Controller) ReadLatencyPercentilesNS(ps ...float64) []float64 {
+	vals := stats.WeightedPercentiles([][]int64{c.latSamples.Samples()}, []int64{c.NumReads}, ps)
+	if vals == nil {
+		return nil
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = c.channel.Slow.NS(v)
+	}
+	return out
 }
 
 // CacheHitRate returns the in-DRAM cache hit rate observed by this

@@ -384,3 +384,34 @@ func TestPropertyAllReadsComplete(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReadLatencyPercentiles drives reads through a controller and checks
+// the reservoir-backed percentile accessor: samples are recorded, the
+// percentiles are ordered, and they bracket the mean.
+func TestReadLatencyPercentiles(t *testing.T) {
+	c := newTestController(t, nil)
+	done := 0
+	for i := 0; i < 32; i++ {
+		r := &Request{Loc: dram.Location{Row: i * 7, Block: i % 16},
+			OnComplete: func(int64) { done++ }}
+		c.Enqueue(r, 0)
+	}
+	runUntil(c, 100_000, func() bool { return done == 32 })
+	if done != 32 {
+		t.Fatalf("only %d/32 reads completed", done)
+	}
+	if n := len(c.LatencySamples()); n != 32 {
+		t.Fatalf("reservoir holds %d samples, want 32 (below capacity keeps all)", n)
+	}
+	ps := c.ReadLatencyPercentilesNS(0.50, 0.90, 0.99)
+	if ps == nil {
+		t.Fatal("no percentiles despite completed reads")
+	}
+	if !(ps[0] <= ps[1] && ps[1] <= ps[2]) {
+		t.Errorf("percentiles not monotonic: %v", ps)
+	}
+	mean := c.AvgReadLatencyNS()
+	if ps[0] <= 0 || ps[2] < mean*0.5 {
+		t.Errorf("implausible percentiles %v for mean %.1f ns", ps, mean)
+	}
+}

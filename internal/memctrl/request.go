@@ -24,6 +24,12 @@ type Request struct {
 	// noInsert suppresses cache insertion for this request (set by the
 	// cache hook when the insertion policy declines the segment).
 	noInsert bool
+
+	// bank and bankID cache the ServiceLoc's bank resolution at enqueue
+	// time: the FR-FCFS scheduler consults them for every queued request
+	// on every tick, and the dense-index multiply chain adds up.
+	bank   *dram.Bank
+	bankID int
 }
 
 // queue is a FIFO of requests with a fixed capacity.

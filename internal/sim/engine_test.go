@@ -61,8 +61,16 @@ func TestEngineEquivalence(t *testing.T) {
 	immediate := DefaultConfig(FIGCacheFast, warmMix(t))
 	immediate.ImmediateReloc = true
 	cases = append(cases, tc{name: "FIGCache-Fast/immediate-reloc", cfg: immediate, insts: 40_000})
-	// A non-intensive app spends most cycles unstalled (no skipping).
+	// A non-intensive app spends most cycles unstalled: its long bubble
+	// runs exercise the closed-form batch path rather than the skip path.
 	cases = append(cases, tc{name: "Base/gcc", cfg: DefaultConfig(Base, smallMix(t, "gcc")), insts: 20_000})
+	// An extreme compute-bound app (sjeng has the largest bubble count)
+	// batches almost every cycle; the FIGCache preset keeps the memory
+	// system non-trivial underneath the batching.
+	cases = append(cases,
+		tc{name: "Base/sjeng", cfg: DefaultConfig(Base, smallMix(t, "sjeng")), insts: 60_000},
+		tc{name: "FIGCache-Fast/sjeng", cfg: DefaultConfig(FIGCacheFast, smallMix(t, "sjeng")), insts: 60_000},
+	)
 
 	if !testing.Short() {
 		eight := DefaultConfig(Base, workload.EightCoreMixes()[0])
@@ -129,9 +137,11 @@ func TestEngineStallCounters(t *testing.T) {
 			d, k := run(true), run(false)
 			for i := range d.Cores() {
 				dc, kc := d.Cores()[i], k.Cores()[i]
-				if dc.LoadStalls != kc.LoadStalls || dc.WindowFull != kc.WindowFull {
-					t.Errorf("core %d stalls diverge: dense load=%d window=%d, skip load=%d window=%d",
-						i, dc.LoadStalls, dc.WindowFull, kc.LoadStalls, kc.WindowFull)
+				if dc.LoadStalls != kc.LoadStalls || dc.StoreStalls != kc.StoreStalls ||
+					dc.WindowFull != kc.WindowFull {
+					t.Errorf("core %d stalls diverge: dense load=%d store=%d window=%d, skip load=%d store=%d window=%d",
+						i, dc.LoadStalls, dc.StoreStalls, dc.WindowFull,
+						kc.LoadStalls, kc.StoreStalls, kc.WindowFull)
 				}
 			}
 			for i := range d.Hierarchy().L1s {

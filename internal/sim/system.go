@@ -23,6 +23,20 @@ type System struct {
 	channels []*dram.Channel
 	hooks    []memctrl.CacheHook
 	adapter  *memAdapter
+
+	// busSched converts a controller's bus-cycle completion callbacks to
+	// CPU-cycle events. Bound once at construction so the per-tick calls
+	// do not evaluate a fresh closure on the hot path.
+	busSched func(at int64, fn func(int64))
+	// ctrlWake[i] is the next-work bus cycle controller i reported at its
+	// most recent tick; zero forces a tick at the first bus boundary.
+	// Owned by runSkippingUntil, kept on the System so resumed engine
+	// runs (benchmarks drive bounded spans) neither reallocate it nor
+	// re-tick idle controllers. coreBatch[i] carries core i's batchable
+	// span from the wake scan to the jump application within one
+	// iteration, so the closed form is sized exactly once per cycle.
+	ctrlWake  []int64
+	coreBatch []int64
 }
 
 // New builds a system for the configuration.
@@ -60,6 +74,13 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s.adapter = &memAdapter{sys: s}
+	for _, ctrl := range s.ctrls {
+		ctrl.Release = s.adapter.release
+	}
+	cpb := cfg.CPUPerBus
+	s.busSched = func(at int64, fn func(int64)) {
+		s.events.schedule(at*cpb, fn)
+	}
 	hier, err := cache.NewHierarchy(cfg.hierarchyConfig(), s.adapter, s)
 	if err != nil {
 		return nil, err
@@ -152,6 +173,11 @@ type memAdapter struct {
 	// new request; the cycle-skipping engine must tick that controller
 	// even if its next-work probe says it would otherwise stay idle.
 	enqueued []bool
+	// free recycles Request objects the controllers have retired
+	// (Controller.Release points here), so the steady-state access path
+	// allocates nothing: the pool grows to the peak number of in-flight
+	// requests and is reused from then on.
+	free []*memctrl.Request
 }
 
 type pendingReq struct {
@@ -162,12 +188,32 @@ type pendingReq struct {
 // Request implements cache.Backend.
 func (m *memAdapter) Request(addr uint64, isWrite bool, coreID int, onDone func(now int64)) {
 	ch, loc := m.sys.mapper.Decode(addr)
-	req := &memctrl.Request{Addr: addr, Loc: loc, IsWrite: isWrite, CoreID: coreID}
+	req := m.alloc()
+	req.Addr, req.Loc, req.IsWrite, req.CoreID = addr, loc, isWrite, coreID
 	// The controller invokes OnComplete through the scheduler lambda in
 	// System.Run, which already converts bus cycles to CPU cycles, so the
 	// callback fires in CPU time and can be passed through directly.
 	req.OnComplete = onDone
 	m.pending = append(m.pending, pendingReq{channel: ch, req: req})
+}
+
+// alloc pops a recycled request or allocates a fresh one.
+func (m *memAdapter) alloc() *memctrl.Request {
+	if n := len(m.free); n > 0 {
+		r := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		return r
+	}
+	return new(memctrl.Request)
+}
+
+// release implements memctrl.Controller.Release: the request has been
+// fully served (its completion callback scheduled), so it can be reset
+// and reused by the next access.
+func (m *memAdapter) release(r *memctrl.Request) {
+	*r = memctrl.Request{}
+	m.free = append(m.free, r)
 }
 
 // drain moves buffered requests into controller queues in arrival order.
@@ -235,9 +281,7 @@ func (s *System) runDense() {
 			busNow := s.clock / cpb
 			s.adapter.drain(busNow)
 			for _, ctrl := range s.ctrls {
-				ctrl.Tick(busNow, func(at int64, fn func(int64)) {
-					s.events.schedule(at*cpb, fn)
-				})
+				ctrl.Tick(busNow, s.busSched)
 			}
 		}
 		allDone := true
@@ -257,25 +301,36 @@ func (s *System) runDense() {
 // runSkipping is the cycle-skipping engine. Each executed cycle performs
 // exactly what the dense loop would (events, bus tick on bus-cycle
 // boundaries, core ticks, in the same order); the difference is that the
-// clock then jumps directly to the next cycle at which anything can
-// happen:
+// clock then jumps directly to the next cycle at which anything
+// *unpredictable* can happen:
 //
 //   - the next scheduled event (cache latencies, fills, DRAM completions),
-//   - the next cycle a core can retire or issue (cpu.Core.NextWake),
+//   - the next cycle a core must execute a full Tick: immediately while
+//     it can touch the cache, or after the bubble run it can execute in
+//     closed form (cpu.Core.BatchableCycles),
 //   - the next bus cycle a controller could change state (the next-work
 //     probe returned by memctrl.Controller.Tick), and
 //   - the next bus boundary while the adapter holds requests waiting for
 //     controller queue space.
 //
-// Cycles in between are provably no-ops in the dense loop — blocked cores
-// only unblock through scheduler events, and DRAM timing windows only
-// move when a command issues — so skipping them is bit-identical.
-func (s *System) runSkipping() {
+// Cycles in between are either provably no-ops in the dense loop —
+// blocked cores only unblock through scheduler events, and DRAM timing
+// windows only move when a command issues — or pure bubble issue/retire
+// cycles whose dense effect cpu.Core.Advance replays arithmetically, so
+// jumping over them is bit-identical.
+func (s *System) runSkipping() { s.runSkippingUntil(s.cfg.MaxCycles) }
+
+// runSkippingUntil runs the skipping engine until every core is done or
+// the clock reaches maxCycles (exclusive). Factored out so benchmarks
+// can drive the engine for a bounded cycle span.
+func (s *System) runSkippingUntil(maxCycles int64) {
 	cpb := s.cfg.CPUPerBus
-	// ctrlWake[i] is the next-work bus cycle controller i reported at its
-	// most recent tick; zero forces a tick at the first bus boundary.
-	ctrlWake := make([]int64, len(s.ctrls))
-	for s.clock < s.cfg.MaxCycles {
+	if s.ctrlWake == nil {
+		s.ctrlWake = make([]int64, len(s.ctrls))
+		s.coreBatch = make([]int64, len(s.cores))
+	}
+	ctrlWake := s.ctrlWake
+	for s.clock < maxCycles {
 		s.events.fireDue(s.clock)
 		if s.clock%cpb == 0 {
 			busNow := s.clock / cpb
@@ -287,9 +342,7 @@ func (s *System) runSkipping() {
 				if ctrlWake[i] > busNow && !s.adapter.enqueued[i] {
 					continue
 				}
-				ctrlWake[i] = ctrl.Tick(busNow, func(at int64, fn func(int64)) {
-					s.events.schedule(at*cpb, fn)
-				})
+				ctrlWake[i] = ctrl.Tick(busNow, s.busSched)
 			}
 		}
 		allDone := true
@@ -304,9 +357,20 @@ func (s *System) runSkipping() {
 			break
 		}
 
-		next := s.cfg.MaxCycles
-		for _, c := range s.cores {
-			if w := c.NextWake(s.clock); w < next {
+		next := maxCycles
+		for i, c := range s.cores {
+			w := c.NextWake(s.clock)
+			batch := int64(0)
+			if w == s.clock+1 {
+				// The core is runnable: it must execute its next cycle
+				// normally unless the cycle after the current one starts a
+				// closed-form bubble run, in which case its next full Tick
+				// is only due after the batch.
+				batch = c.BatchableCycles()
+				w += batch
+			}
+			s.coreBatch[i] = batch
+			if w < next {
 				next = w
 				if next <= s.clock+1 {
 					break // can't wake earlier than the next cycle
@@ -315,8 +379,8 @@ func (s *System) runSkipping() {
 		}
 		if next > s.clock+1 {
 			// Only consult the event queue and the memory system when
-			// every core is blocked: due events have already fired, so
-			// neither source can be earlier than clock+1.
+			// every core is blocked or batchable: due events have already
+			// fired, so neither source can be earlier than clock+1.
 			if at, ok := s.events.nextAt(); ok && at < next {
 				next = at
 			}
@@ -328,11 +392,29 @@ func (s *System) runSkipping() {
 			next = s.clock + 1
 		}
 		// A jump of more than one cycle only happens when every core is
-		// blocked; credit their stall counters for the cycles the dense
-		// loop would have spent ticking them.
+		// blocked (credit the stall counters for the skipped ticks) or
+		// executing a bubble run the closed form replays. A batching core
+		// can cross its instruction target mid-jump — the batch cap puts
+		// that crossing on the jump's last cycle — so the loop must stop
+		// exactly where the dense loop would have.
+		// skipped > 0 implies the wake scan above ran to completion (an
+		// early break pins next to clock+1), so coreBatch is valid for
+		// every core: positive for batching cores, zero for blocked ones.
 		if skipped := next - s.clock - 1; skipped > 0 {
-			for _, c := range s.cores {
-				c.AccountSkipped(skipped)
+			allDone := true
+			for i, c := range s.cores {
+				if s.coreBatch[i] > 0 {
+					c.AdvanceBatch(s.clock, skipped)
+				} else {
+					c.AccountSkipped(skipped)
+				}
+				if !c.Done() {
+					allDone = false
+				}
+			}
+			if allDone {
+				s.clock = next // dense clock after its last executed cycle
+				break
 			}
 		}
 		s.clock = next
