@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	figbench [-insts N] [-apps N] [-mixes N] [-mc N] <experiment>...
+//	figbench [-insts N] [-apps N] [-mixes N] [-mc N] [-cache-dir DIR] [-force] <experiment>...
 //	figbench all
-//	figbench fig8 fig10
+//	figbench -cache-dir .figcache fig8 fig10
 //
 // Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 sec42 sec83 multithreaded
@@ -14,6 +14,12 @@
 // The instruction budget trades fidelity for runtime; the shipped default
 // reproduces the paper's qualitative shapes in minutes on one machine.
 // See EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// With -cache-dir, every computed run is persisted keyed by its
+// configuration fingerprint (which folds in the engine version stamp), so
+// a rerun only recomputes runs the current binary would produce
+// differently; -force recomputes everything and rewrites the store. See
+// the "Warm cache" section of the README for the versioning contract.
 package main
 
 import (
@@ -22,16 +28,23 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/expcache"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
 func main() {
-	insts := flag.Int64("insts", 400_000, "per-core instruction target per run")
-	apps := flag.Int("apps", 20, "single-core applications to include (max 20)")
-	mixes := flag.Int("mixes", 5, "eight-core mixes per category (max 5)")
-	mc := flag.Int("mc", 10_000, "Monte-Carlo iterations for the circuit model")
+	// Flag defaults derive from harness.DefaultScale, the single source of
+	// truth for the full-scale matrix — they cannot drift when the scale
+	// moves again.
+	def := harness.DefaultScale()
+	insts := flag.Int64("insts", def.Insts, "per-core instruction target per run")
+	apps := flag.Int("apps", def.SingleApps, "single-core applications to include (max 20)")
+	mixes := flag.Int("mixes", def.MixesPerCategory, "eight-core mixes per category (max 5)")
+	mc := flag.Int("mc", def.MCIterations, "Monte-Carlo iterations for the circuit model")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = in-memory only)")
+	force := flag.Bool("force", false, "recompute cached runs and rewrite the persistent cache")
 	flag.Parse()
 
 	args := flag.Args()
@@ -39,10 +52,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	r := harness.NewRunner(harness.Scale{
+	r := harness.NewRunnerWithCache(harness.Scale{
 		Insts: *insts, SingleApps: *apps, MixesPerCategory: *mixes,
 		MCIterations: *mc, Parallelism: *par,
-	})
+	}, expcache.New(*cacheDir), *force)
 
 	type experiment struct {
 		name string
@@ -106,6 +119,17 @@ func main() {
 		fmt.Printf("simulator throughput: %d cycles in %.1fs of simulation (%.2fM sim-cycles/s)\n",
 			r.SimCycles(), r.SimWallSeconds(), cps/1e6)
 	}
+	st := r.CacheStats()
+	fmt.Printf("result cache: hits=%d (mem=%d disk=%d) misses=%d computed=%d systems=%d built+%d reused",
+		st.Hits(), st.MemHits, st.DiskHits, st.Misses, st.Stores,
+		r.SystemsBuilt(), r.SystemsReused())
+	if *cacheDir != "" {
+		fmt.Printf(" dir=%s", *cacheDir)
+	}
+	if st.DiskError > 0 {
+		fmt.Printf(" disk-errors=%d", st.DiskError)
+	}
+	fmt.Println()
 }
 
 func usage() {

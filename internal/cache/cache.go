@@ -15,6 +15,20 @@ type Scheduler interface {
 	After(delay int64, fn func(now int64))
 }
 
+// LevelSchedulerFactory is an optional refinement of Scheduler: a
+// scheduler that can hand out a sub-scheduler dedicated to one fixed
+// delay. Every After call a Cache issues uses the same delay (its lookup
+// latency), so its deferred callbacks become due in non-decreasing order
+// — a plain FIFO, which a delay-aware scheduler can service without
+// paying heap push/pop per event. The factory may hand the same
+// sub-scheduler to every caller with the same latency (callbacks from
+// different caches at one delay still become due in schedule order). New
+// unwraps the factory once at construction; plain Schedulers keep
+// working unchanged.
+type LevelSchedulerFactory interface {
+	LevelScheduler(latency int64) Scheduler
+}
+
 // Backend receives misses and write-backs from a cache level: either the
 // next cache level or the memory-system adapter.
 type Backend interface {
@@ -111,6 +125,9 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if f, ok := sched.(LevelSchedulerFactory); ok {
+		sched = f.LevelScheduler(cfg.Latency)
+	}
 	setsN := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
 	c := &Cache{
 		cfg:    cfg,
@@ -131,6 +148,32 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	}
 	c.shift = shift
 	return c, nil
+}
+
+// Reset invalidates every line and zeroes all counters and outstanding
+// misses, returning the cache to its freshly constructed state while
+// keeping its allocations — the flat line array (the dominant cost of
+// building a hierarchy), the MSHR free list with its pre-bound callbacks,
+// and the set-index geometry. Outstanding MSHRs are recycled without
+// firing their waiters; the caller resets the scheduler that held the
+// corresponding events, so no stale callback can fire afterwards.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.clock = 0
+	for i, m := range c.active {
+		m.waiters = m.waiters[:0]
+		c.free = append(c.free, m)
+		c.active[i] = nil
+	}
+	c.active = c.active[:0]
+	for blk, m := range c.mshrs {
+		m.waiters = m.waiters[:0]
+		c.free = append(c.free, m)
+		delete(c.mshrs, blk)
+	}
+	c.Hits, c.Misses = 0, 0
+	c.WriteBacks, c.MSHRMerges, c.MSHRFullStalls = 0, 0, 0
+	c.ReadAcc, c.WriteAcc = 0, 0
 }
 
 // set returns the ways of one cache set.

@@ -59,6 +59,17 @@ func NewHierarchy(cfg HierarchyConfig, mem Backend, sched Scheduler) (*Hierarchy
 	return h, nil
 }
 
+// Reset invalidates and zeroes every level, keeping all allocations (see
+// Cache.Reset). The hierarchy's shape — core count, level sizes — is
+// fixed at construction; Reset only clears state between runs.
+func (h *Hierarchy) Reset() {
+	h.LLC.Reset()
+	for i := range h.L1s {
+		h.L1s[i].Reset()
+		h.L2s[i].Reset()
+	}
+}
+
 // LLCMPKI returns the last-level-cache misses per kilo-instruction given
 // the retired instruction count — the paper's memory-intensity metric
 // (Table 2 classifies applications at 10 MPKI).

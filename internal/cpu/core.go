@@ -136,6 +136,39 @@ func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int
 	return c, nil
 }
 
+// Reset rebinds the core to a new trace and retire target and clears all
+// execution state — window, epochs, pending record, progress, stall
+// counters — returning it to the state New would produce. The window
+// arrays and the per-slot completion callbacks (which capture only the
+// core and their slot index) are reused, so reuse across runs allocates
+// nothing. cfg must equal the configuration the core was built with: the
+// window arrays are sized by it. The caller must have discarded any
+// scheduler events still holding the old run's callbacks.
+func (c *Core) Reset(cfg Config, trace TraceReader, targetInsts int64) error {
+	if cfg != c.cfg {
+		return fmt.Errorf("cpu: Reset config %+v does not match construction config %+v", cfg, c.cfg)
+	}
+	if trace == nil {
+		return fmt.Errorf("cpu: trace must be non-nil")
+	}
+	c.trace = trace
+	for i := range c.done {
+		c.done[i] = false
+		c.epoch[i] = 0
+		c.issueEp[i] = 0
+	}
+	c.head, c.tail, c.count = 0, 0, 0
+	c.pending = TraceRecord{}
+	c.hasPending = false
+	c.pendingFills = 0
+	c.avail = 0
+	c.Retired = 0
+	c.TargetInsts = targetInsts
+	c.FinishedAt = 0
+	c.LoadStalls, c.StoreStalls, c.WindowFull = 0, 0, 0
+	return nil
+}
+
 // Done reports whether the core has retired its target instruction count.
 func (c *Core) Done() bool { return c.FinishedAt > 0 }
 

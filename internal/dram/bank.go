@@ -61,6 +61,14 @@ func NewBank(geo Geometry, slow, fast Timing, allFast bool) *Bank {
 	return &Bank{geo: geo, slow: slow, fast: fast, allFast: allFast, openRow: -1}
 }
 
+// Reset returns the bank to its freshly constructed state for the given
+// geometry and latency classes: precharged, all timing windows expired,
+// all counters zero. Banks hold no heap state, so reuse across runs is a
+// plain overwrite.
+func (b *Bank) Reset(geo Geometry, slow, fast Timing, allFast bool) {
+	*b = Bank{geo: geo, slow: slow, fast: fast, allFast: allFast, openRow: -1}
+}
+
 // timingFor returns the timing set that applies to a row.
 func (b *Bank) timingFor(cacheRow bool, row int) Timing {
 	if b.classOf(cacheRow, row) == RowFast {

@@ -1,0 +1,204 @@
+// Package expcache is the experiment-result cache behind the harness: a
+// two-tier store of sim.Results keyed by sim.Fingerprint. Tier one is an
+// in-process map (shared-run dedup within one figbench/test invocation);
+// tier two is an optional content-addressed on-disk store that makes
+// full-matrix reruns incremental — a rerun after a code change only
+// recomputes runs whose fingerprint (which folds in sim.EngineVersion)
+// changed.
+//
+// Disk entries are versioned JSON envelopes named <fingerprint>.json.
+// Reads are defensive: a corrupt, truncated, foreign-format, or
+// stale-engine file is a miss, never an error — the run is simply
+// recomputed and the entry rewritten. Writes are atomic (temp file +
+// rename), so concurrent writers of the same fingerprint — racing
+// processes, or racing workers of one process — land one complete entry.
+package expcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// FormatVersion identifies the on-disk envelope layout. Bump it when the
+// envelope itself changes shape; entries with any other format are
+// misses. (Result-affecting engine changes are handled by
+// sim.EngineVersion via the fingerprint, not by this constant.)
+const FormatVersion = 1
+
+// entry is the on-disk envelope around one cached result. Fingerprint and
+// Engine are redundant with the filename and the fingerprint's contents;
+// they are stored anyway so a renamed or hand-edited file cannot
+// impersonate another run's result.
+type entry struct {
+	Format      int        `json:"format"`
+	Engine      int        `json:"engine"`
+	Fingerprint string     `json:"fingerprint"`
+	Result      sim.Result `json:"result"`
+}
+
+// Stats counts cache traffic. Hits split by the tier that served them;
+// Misses are lookups that found nothing usable and will be computed.
+type Stats struct {
+	MemHits   int64
+	DiskHits  int64
+	Misses    int64
+	Stores    int64
+	DiskError int64 // failed disk writes (best-effort; results stay in memory)
+}
+
+// Hits returns the total lookups served without simulation.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
+
+// Cache is a two-tier result cache. The zero value is not usable; use New.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	mem   map[sim.Fingerprint]sim.Result
+	dir   string // "" = in-memory only
+	stats Stats
+}
+
+// New builds a cache. dir, when non-empty, is the persistent store
+// directory (created on first write); empty selects in-memory only.
+func New(dir string) *Cache {
+	return &Cache{mem: make(map[sim.Fingerprint]sim.Result), dir: dir}
+}
+
+// Dir returns the persistent store directory ("" when in-memory only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get looks up fp in memory, then on disk. A disk hit is promoted into
+// memory. Unusable disk entries count as misses.
+func (c *Cache) Get(fp sim.Fingerprint) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.mem[fp]; ok {
+		c.stats.MemHits++
+		return res, true
+	}
+	if res, ok := c.readDisk(fp); ok {
+		c.mem[fp] = res
+		c.stats.DiskHits++
+		return res, true
+	}
+	c.stats.Misses++
+	return sim.Result{}, false
+}
+
+// GetMem looks up fp in the in-memory tier only. -force reruns use it:
+// results computed earlier in the same process are still deduplicated,
+// while stale disk entries are ignored (and overwritten by the
+// subsequent Put).
+func (c *Cache) GetMem(fp sim.Fingerprint) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.mem[fp]; ok {
+		c.stats.MemHits++
+		return res, true
+	}
+	c.stats.Misses++
+	return sim.Result{}, false
+}
+
+// Put stores a computed result in memory and, when a directory is
+// configured, on disk. Disk failures are recorded in Stats and returned,
+// but the in-memory tier is always updated — a read-only cache directory
+// degrades to per-process caching, not to an error loop.
+func (c *Cache) Put(fp sim.Fingerprint, res sim.Result) error {
+	c.mu.Lock()
+	c.mem[fp] = res
+	c.stats.Stores++
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	if err := c.writeDisk(fp, res); err != nil {
+		c.mu.Lock()
+		c.stats.DiskError++
+		c.mu.Unlock()
+		return fmt.Errorf("expcache: %w", err)
+	}
+	return nil
+}
+
+// path returns the content-addressed file name for fp.
+func (c *Cache) path(fp sim.Fingerprint) string {
+	return filepath.Join(c.dir, fp.String()+".json")
+}
+
+// readDisk loads and validates one entry; any defect is (zero, false).
+// Caller holds c.mu (the read itself races only with atomic renames, so
+// holding the lock just keeps the stats consistent).
+func (c *Cache) readDisk(fp sim.Fingerprint) (sim.Result, bool) {
+	if c.dir == "" {
+		return sim.Result{}, false
+	}
+	data, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return sim.Result{}, false // corrupt or truncated: recompute
+	}
+	if e.Format != FormatVersion || e.Engine != sim.EngineVersion || e.Fingerprint != fp.String() {
+		return sim.Result{}, false // foreign layout, stale engine, or renamed file
+	}
+	return e.Result, true
+}
+
+// writeDisk atomically persists one entry: encode, write to a temp file
+// in the same directory, rename over the final name. Concurrent writers
+// of the same fingerprint each rename a complete file, so readers never
+// observe a partial entry.
+func (c *Cache) writeDisk(fp sim.Fingerprint, res sim.Result) error {
+	if err := os.MkdirAll(c.dir, 0o777); err != nil {
+		return err
+	}
+	data, err := json.Marshal(entry{
+		Format:      FormatVersion,
+		Engine:      sim.EngineVersion,
+		Fingerprint: fp.String(),
+		Result:      res,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, fp.String()+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

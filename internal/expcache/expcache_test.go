@@ -1,0 +1,281 @@
+package expcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testResult builds a distinguishable result with non-trivial floats, so
+// round-trip comparisons exercise exact float64 encoding.
+func testResult(tag int64) sim.Result {
+	return sim.Result{
+		Preset:   sim.FIGCacheFast,
+		Workload: "mcf",
+		Cycles:   1_234_567 + tag,
+		Cores: []sim.CoreResult{
+			{App: "mcf", IPC: 1.0 / 3.0, Insts: 200_000, FinishedAt: 1_234_000 + tag},
+		},
+		DRAM:             dram.Stats{ACT: 42, RowHits: 7, RelocBusy: 99},
+		CacheHits:        11,
+		CacheMisses:      13,
+		AvgReadLatencyNS: 73.728,
+		TotalInsts:       200_000,
+	}
+}
+
+func testFingerprint(seed uint64) sim.Fingerprint {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		panic(err)
+	}
+	cfg := sim.DefaultConfig(sim.FIGCacheFast, workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}})
+	cfg.Seed = seed
+	return cfg.Fingerprint()
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := New("")
+	fp := testFingerprint(1)
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := testResult(0)
+	if err := c.Put(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(fp)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Errorf("memory round-trip mismatch (ok=%v):\n got %+v\nwant %+v", ok, got, want)
+	}
+	st := c.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 mem hit, 1 miss, 1 store", st)
+	}
+}
+
+func TestDiskRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint(2)
+	want := testResult(5)
+	if err := New(dir).Put(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory (a later process) must serve
+	// the exact same Result, floats bit-for-bit.
+	c2 := New(dir)
+	got, ok := c2.Get(fp)
+	if !ok {
+		t.Fatal("persisted entry missed by a fresh cache")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("disk round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit", st)
+	}
+	// Promotion: the second Get is a memory hit.
+	if _, ok := c2.Get(fp); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Errorf("stats = %+v, want 1 mem hit after promotion", st)
+	}
+}
+
+// TestCorruptEntriesAreMisses verifies the defensive-read contract: every
+// way a disk entry can be unusable is a recomputable miss, not an error.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	fp := testFingerprint(3)
+	valid, err := json.Marshal(entry{
+		Format: FormatVersion, Engine: sim.EngineVersion,
+		Fingerprint: fp.String(), Result: testResult(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("not json at all {{{")},
+		{"truncated", valid[:len(valid)/2]},
+		{"empty", nil},
+		{"format-bump", mutateEntry(t, valid, func(e *entry) { e.Format++ })},
+		{"engine-bump", mutateEntry(t, valid, func(e *entry) { e.Engine++ })},
+		{"renamed", mutateEntry(t, valid, func(e *entry) { e.Fingerprint = testFingerprint(99).String() })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := New(dir)
+			if err := os.WriteFile(c.path(fp), tc.data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if res, ok := c.Get(fp); ok {
+				t.Errorf("unusable entry served as a hit: %+v", res)
+			}
+			if st := c.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+				t.Errorf("stats = %+v, want exactly one miss", st)
+			}
+			// The rewrite path must recover: Put then Get round-trips.
+			want := testResult(2)
+			if err := c.Put(fp, want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := New(dir).Get(fp)
+			if !ok || !reflect.DeepEqual(got, want) {
+				t.Errorf("rewrite after corruption did not recover (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+func mutateEntry(t *testing.T, valid []byte, mutate func(*entry)) []byte {
+	t.Helper()
+	var e entry
+	if err := json.Unmarshal(valid, &e); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&e)
+	out, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestConcurrentWritersSameFingerprint hammers one fingerprint from many
+// goroutines (all writing the same result, as racing simulation workers
+// of the same run would) while readers validate every observation.
+func TestConcurrentWritersSameFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint(4)
+	want := testResult(7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := New(dir)
+			for i := 0; i < 50; i++ {
+				if err := c.Put(fp, want); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+				if got, ok := New(dir).Get(fp); ok && !reflect.DeepEqual(got, want) {
+					t.Errorf("reader observed a mangled entry: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := New(dir).Get(fp)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("final entry unusable after concurrent writes (ok=%v)", ok)
+	}
+	// No temp-file droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Errorf("cache dir holds %d files, want 1: %v", len(ents), names)
+	}
+}
+
+// TestVersionStampInvalidates checks both layers of the versioning
+// contract: the fingerprint itself moves when the engine version moves
+// (so old entries are simply never addressed), and a forged entry at the
+// right path with a stale engine stamp is still rejected.
+func TestVersionStampInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint(5)
+	c := New(dir)
+	if err := c.Put(fp, testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate "the entry was written by engine N-1": rewrite in place
+	// with a decremented stamp, as a pre-bump binary would have left it.
+	data, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := mutateEntry(t, data, func(e *entry) { e.Engine = sim.EngineVersion - 1 })
+	if err := os.WriteFile(c.path(fp), stale, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := New(dir).Get(fp); ok {
+		t.Error("stale-engine entry served as a hit")
+	}
+}
+
+func TestReadOnlyDirDegradesToMemory(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	c := New(filepath.Join(dir, "sub"))
+	fp := testFingerprint(6)
+	want := testResult(9)
+	if err := c.Put(fp, want); err == nil {
+		t.Error("Put to an unwritable directory reported no error")
+	}
+	if got, ok := c.Get(fp); !ok || !reflect.DeepEqual(got, want) {
+		t.Errorf("in-memory tier lost the result after a disk failure (ok=%v)", ok)
+	}
+	if st := c.Stats(); st.DiskError != 1 {
+		t.Errorf("stats = %+v, want 1 disk error", st)
+	}
+}
+
+// TestDistinctFingerprintsDistinctFiles guards the content addressing:
+// different seeds produce different fingerprints and independent entries.
+func TestDistinctFingerprintsDistinctFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := New(dir)
+	var fps []sim.Fingerprint
+	for s := uint64(1); s <= 3; s++ {
+		fp := testFingerprint(s)
+		fps = append(fps, fp)
+		if err := c.Put(fp, testResult(int64(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, fp := range fps {
+		for j := i + 1; j < len(fps); j++ {
+			if fp == fps[j] {
+				t.Fatalf("seeds %d and %d share a fingerprint", i+1, j+1)
+			}
+		}
+		got, ok := New(dir).Get(fp)
+		if !ok || got.Cycles != testResult(int64(i+1)).Cycles {
+			t.Errorf("entry %d mismatched (ok=%v): %+v", i, ok, got)
+		}
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 3 {
+		t.Errorf("cache dir holds %d files, want 3", len(ents))
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}

@@ -41,19 +41,19 @@ func (r *Runner) Ablations() (*stats.Table, error) {
 		}},
 	}
 
-	var jobs []job
+	// variantConfig deterministically rebuilds each ablation's config, so
+	// the same call serves as job builder and result lookup (mutations are
+	// fingerprinted by value).
+	variantConfig := func(v variant, mix workload.Mix) sim.Config {
+		cfg := r.baseConfig(sim.FIGCacheFast, mix)
+		v.mutate(&cfg)
+		return cfg
+	}
+	var jobs []sim.Config
 	for _, mix := range mixes {
-		jobs = append(jobs, job{
-			key: keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2"),
-			cfg: r.baseConfig(sim.Base, mix),
-		})
-		for i, v := range variants {
-			cfg := r.baseConfig(sim.FIGCacheFast, mix)
-			v.mutate(&cfg)
-			jobs = append(jobs, job{
-				key: keyFor(sim.FIGCacheFast, mix.Name, r.scale.Insts, fmt.Sprintf("abl%d", i)),
-				cfg: cfg,
-			})
+		jobs = append(jobs, r.baseConfig(sim.Base, mix))
+		for _, v := range variants {
+			jobs = append(jobs, variantConfig(v, mix))
 		}
 	}
 	res, err := r.runAll(jobs)
@@ -71,11 +71,11 @@ func (r *Runner) Ablations() (*stats.Table, error) {
 	}
 	group := func(name string, ms []workload.Mix) {
 		row := []string{name}
-		for i := range variants {
+		for _, v := range variants {
 			var vals []float64
 			for _, m := range ms {
-				base := res[keyFor(sim.Base, m.Name, r.scale.Insts, "fs2")]
-				run := res[keyFor(sim.FIGCacheFast, m.Name, r.scale.Insts, fmt.Sprintf("abl%d", i))]
+				base := res.of(r.baseConfig(sim.Base, m))
+				run := res.of(variantConfig(v, m))
 				vals = append(vals, run.WeightedSpeedupOver(base))
 			}
 			row = append(row, stats.F(stats.Mean(vals), 3))

@@ -16,13 +16,12 @@ var perfPresets = []sim.Preset{
 
 // runMatrix runs every (preset, mix) pair of the given sets, always
 // including Base for normalization.
-func (r *Runner) runMatrix(presets []sim.Preset, mixes []workload.Mix) (map[string]sim.Result, error) {
-	var jobs []job
+func (r *Runner) runMatrix(presets []sim.Preset, mixes []workload.Mix) (results, error) {
+	var jobs []sim.Config
 	all := append([]sim.Preset{sim.Base}, presets...)
 	for _, mix := range mixes {
 		for _, p := range all {
-			cfg := r.baseConfig(p, mix)
-			jobs = append(jobs, job{key: keyFor(p, mix.Name, r.scale.Insts, "fs2"), cfg: cfg})
+			jobs = append(jobs, r.baseConfig(p, mix))
 		}
 	}
 	return r.runAll(jobs)
@@ -44,14 +43,14 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 		"intensive": make(map[sim.Preset][]float64), "non-intensive": make(map[sim.Preset][]float64),
 	}
 	for _, mix := range mixes {
-		base := res[keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2")]
+		base := res.of(r.baseConfig(sim.Base, mix))
 		class := "non-intensive"
 		if mix.Apps[0].MemIntensive {
 			class = "intensive"
 		}
 		row := []string{mix.Name, class}
 		for _, p := range perfPresets {
-			sp := stats.Speedup(base.Cores[0].IPC, res[keyFor(p, mix.Name, r.scale.Insts, "fs2")].Cores[0].IPC)
+			sp := stats.Speedup(base.Cores[0].IPC, res.of(r.baseConfig(p, mix)).Cores[0].IPC)
 			groupSpeedups[class][p] = append(groupSpeedups[class][p], sp)
 			row = append(row, stats.F(sp, 3))
 		}
@@ -83,12 +82,12 @@ func (r *Runner) Fig8() (*stats.Table, error) {
 	perCat := make(map[int]map[sim.Preset][]float64)
 	var allCats map[sim.Preset][]float64 = make(map[sim.Preset][]float64)
 	for _, mix := range mixes {
-		base := res[keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2")]
+		base := res.of(r.baseConfig(sim.Base, mix))
 		if perCat[mix.IntensivePercent] == nil {
 			perCat[mix.IntensivePercent] = make(map[sim.Preset][]float64)
 		}
 		for _, p := range perfPresets {
-			ws := res[keyFor(p, mix.Name, r.scale.Insts, "fs2")].WeightedSpeedupOver(base)
+			ws := res.of(r.baseConfig(p, mix)).WeightedSpeedupOver(base)
 			perCat[mix.IntensivePercent][p] = append(perCat[mix.IntensivePercent][p], ws)
 			allCats[p] = append(allCats[p], ws)
 		}
@@ -129,7 +128,7 @@ func (r *Runner) hitRateTable(title, note string, metric func(sim.Result) float6
 		for _, p := range cachePresets {
 			var vals []float64
 			for _, m := range mixes {
-				vals = append(vals, metric(res[keyFor(p, m.Name, r.scale.Insts, "fs2")]))
+				vals = append(vals, metric(res.of(r.baseConfig(p, m))))
 			}
 			row = append(row, stats.F(stats.Mean(vals)*100, 1)+"%")
 		}
@@ -186,7 +185,7 @@ func (r *Runner) Fig11() (*stats.Table, error) {
 	group := func(name string, mixes []workload.Mix, cores, channels int) {
 		var baseTotals []float64
 		breakdown := func(p sim.Preset, m workload.Mix) energy.Breakdown {
-			return energy.Compute(params, res[keyFor(p, m.Name, r.scale.Insts, "fs2")],
+			return energy.Compute(params, res.of(r.baseConfig(p, m)),
 				cores, channels, p != sim.Base)
 		}
 		for _, m := range mixes {

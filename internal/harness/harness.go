@@ -1,7 +1,8 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation (Section 7-9): it runs the required simulation matrix with a
-// worker pool, caches results shared between figures, and renders the
-// same rows and series the paper reports. cmd/figbench drives it at full
+// worker pool, caches results shared between figures (and, with a
+// persistent cache directory, across processes), and renders the same
+// rows and series the paper reports. cmd/figbench drives it at full
 // scale; bench_test.go drives scaled-down versions.
 package harness
 
@@ -11,9 +12,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/expcache"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -50,22 +52,42 @@ func DefaultScale() Scale {
 	return Scale{Insts: 1_000_000, SingleApps: 20, MixesPerCategory: 5, MCIterations: 20_000}
 }
 
-// Runner executes and caches simulation runs.
+// Runner executes simulation runs against a two-tier result cache
+// (internal/expcache) and reuses sim.Systems across jobs of the same
+// shape, so one experiment matrix pays construction and GC for a handful
+// of Systems instead of one per run.
 type Runner struct {
 	scale Scale
+	cache *expcache.Cache
+	// force skips the persistent tier on lookups: every run is recomputed
+	// once per process (in-process dedup still applies) and rewritten.
+	force bool
 
-	mu    sync.Mutex
-	cache map[string]sim.Result
+	mu sync.Mutex
 	// simCycles accumulates the simulated CPU cycles of every computed
 	// run, and simWall the wall-clock spent inside simulation batches
 	// (excluding the circuit model and table rendering) — numerator and
 	// denominator of the SimCyclesPerSecond throughput metric.
 	simCycles int64
 	simWall   time.Duration
+	// sysBuilt / sysReused count fresh sim.New constructions versus
+	// Reset-reuses across all workers (diagnostics for the reuse rate).
+	sysBuilt, sysReused int64
+	// pools holds idle System pools between runAll batches, so reuse
+	// extends across an experiment sequence (figbench all): a figure's
+	// workers inherit the Systems the previous figure's workers released.
+	pools []*systemPool
 }
 
-// NewRunner builds a runner for the scale.
+// NewRunner builds a runner for the scale with an in-memory result cache.
 func NewRunner(scale Scale) *Runner {
+	return NewRunnerWithCache(scale, expcache.New(""), false)
+}
+
+// NewRunnerWithCache builds a runner over an explicit result cache
+// (typically disk-backed; see expcache.New). force makes lookups bypass
+// the persistent tier so every run is recomputed and rewritten.
+func NewRunnerWithCache(scale Scale, cache *expcache.Cache, force bool) *Runner {
 	if scale.Parallelism <= 0 {
 		scale.Parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -75,85 +97,192 @@ func NewRunner(scale Scale) *Runner {
 	if scale.MixesPerCategory <= 0 || scale.MixesPerCategory > 5 {
 		scale.MixesPerCategory = 5
 	}
-	return &Runner{scale: scale, cache: make(map[string]sim.Result)}
+	if cache == nil {
+		cache = expcache.New("")
+	}
+	return &Runner{scale: scale, cache: cache, force: force}
 }
 
 // Scale returns the runner's scale.
 func (r *Runner) Scale() Scale { return r.scale }
 
-// job is one simulation to run.
-type job struct {
-	key string
-	cfg sim.Config
+// CacheStats returns the result cache's traffic counters.
+func (r *Runner) CacheStats() expcache.Stats { return r.cache.Stats() }
+
+// SystemsBuilt returns how many sim.Systems were freshly constructed.
+func (r *Runner) SystemsBuilt() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sysBuilt
 }
 
-// runAll executes jobs in parallel (deduplicated against the cache) and
-// returns results by key. When jobs fail, every failure is reported —
-// one line per job key, in deterministic (sorted) order — so a large
-// batch with several broken configurations surfaces all of them at
-// once instead of hiding siblings behind the first error.
-func (r *Runner) runAll(jobs []job) (map[string]sim.Result, error) {
-	out := make(map[string]sim.Result, len(jobs))
-	var todo []job
+// SystemsReused returns how many runs executed on a Reset-reused System.
+func (r *Runner) SystemsReused() int64 {
 	r.mu.Lock()
-	seen := make(map[string]bool)
-	for _, j := range jobs {
-		if res, ok := r.cache[j.key]; ok {
-			out[j.key] = res
-		} else if !seen[j.key] {
-			seen[j.key] = true
-			todo = append(todo, j)
-		}
-	}
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	return r.sysReused
+}
 
-	if len(todo) > 0 {
-		batchStart := time.Now()
-		sem := make(chan struct{}, r.scale.Parallelism)
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var failures []error
-		for _, j := range todo {
-			wg.Add(1)
-			go func(j job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				system, err := sim.New(j.cfg)
-				var res sim.Result
-				if err == nil {
-					res, err = system.Run()
-				}
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					failures = append(failures, fmt.Errorf("%s: %w", j.key, err))
+// results holds one batch's completed runs keyed by fingerprint; of is
+// the lookup the figure builders use (recomputing a configuration's
+// fingerprint is microseconds against the runs behind it). A missing
+// fingerprint is a builder bug — the lookup config drifted from the job
+// config — and panics rather than rendering silent zeros into a table.
+type results map[sim.Fingerprint]sim.Result
+
+func (rs results) of(cfg sim.Config) sim.Result {
+	res, ok := rs[cfg.Fingerprint()]
+	if !ok {
+		panic(fmt.Sprintf("harness: no result for %s: lookup config does not match any submitted job", cfg.Describe()))
+	}
+	return res
+}
+
+// systemPool reuses sim.Systems across jobs of compatible shape. Each
+// worker checks out one pool for the duration of a batch, so reuse needs
+// no locking and a System is never shared between goroutines.
+type systemPool struct {
+	systems       map[string]*sim.System
+	built, reused int64
+}
+
+// checkoutPool hands a worker an idle pool (with the Systems a previous
+// batch's worker released) or a fresh one.
+func (r *Runner) checkoutPool() *systemPool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.pools); n > 0 {
+		p := r.pools[n-1]
+		r.pools[n-1] = nil
+		r.pools = r.pools[:n-1]
+		return p
+	}
+	return &systemPool{systems: make(map[string]*sim.System)}
+}
+
+// returnPool takes a pool back at the end of a batch, folding its
+// build/reuse counters into the runner's totals.
+func (r *Runner) returnPool(p *systemPool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sysBuilt += p.built
+	r.sysReused += p.reused
+	p.built, p.reused = 0, 0
+	r.pools = append(r.pools, p)
+}
+
+// run executes one configuration, on a Reset-reused System when the pool
+// holds one of the right shape, freshly constructed otherwise.
+func (p *systemPool) run(cfg sim.Config) (sim.Result, error) {
+	key := cfg.ShapeKey()
+	if sys := p.systems[key]; sys != nil {
+		if err := sys.Reset(cfg); err == nil {
+			p.reused++
+			return sys.Run()
+		}
+		// A failed Reset leaves the System partially reinitialized; drop
+		// it and rebuild. (Shape mismatches cannot happen under ShapeKey
+		// keying; this covers config errors surfaced mid-Reset.)
+		delete(p.systems, key)
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	p.built++
+	// A Run error (instruction target not reached within MaxCycles) does
+	// not poison the System: Reset reinitializes every piece of state, so
+	// the System stays pooled either way.
+	p.systems[key] = sys
+	return sys.Run()
+}
+
+// runAll executes the configurations (deduplicated by fingerprint and
+// served from the result cache where possible) and returns results by
+// fingerprint. Workers pull jobs from a shared index and each keep their
+// own System pool. When jobs fail, every failure is reported — one line
+// per run, in deterministic (sorted) order — so a large batch with
+// several broken configurations surfaces all of them at once instead of
+// hiding siblings behind the first error. Completed runs are cached even
+// when a sibling fails, so a retry does not recompute them.
+func (r *Runner) runAll(cfgs []sim.Config) (results, error) {
+	out := make(results, len(cfgs))
+	var todo []sim.Config
+	var fps []sim.Fingerprint
+	seen := make(map[sim.Fingerprint]bool, len(cfgs))
+	lookup := r.cache.Get
+	if r.force {
+		lookup = r.cache.GetMem
+	}
+	for _, cfg := range cfgs {
+		fp := cfg.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		if res, ok := lookup(fp); ok {
+			out[fp] = res
+			continue
+		}
+		todo = append(todo, cfg)
+		fps = append(fps, fp)
+	}
+	if len(todo) == 0 {
+		return out, nil
+	}
+
+	batchStart := time.Now()
+	workers := r.scale.Parallelism
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var failures []error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool := r.checkoutPool()
+			defer r.returnPool(pool)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
 					return
 				}
-				out[j.key] = res
-			}(j)
-		}
-		wg.Wait()
-		// Cache completed results even when some job failed, so a retry
-		// (e.g. at a larger scale) does not recompute the finished runs.
-		r.mu.Lock()
-		for _, j := range todo {
-			if res, ok := out[j.key]; ok {
-				r.cache[j.key] = res
+				cfg := todo[i]
+				res, err := pool.run(cfg)
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, fmt.Errorf("%s: %w", cfg.Describe(), err))
+					mu.Unlock()
+					continue
+				}
+				// Persist immediately (disk failures degrade to in-memory
+				// caching; expcache records them in its stats).
+				_ = r.cache.Put(fps[i], res)
+				mu.Lock()
+				out[fps[i]] = res
+				mu.Unlock()
+				r.mu.Lock()
 				r.simCycles += res.Cycles
+				r.mu.Unlock()
 			}
-		}
-		r.simWall += time.Since(batchStart)
-		r.mu.Unlock()
-		if len(failures) > 0 {
-			// Goroutine completion order is nondeterministic; sort so the
-			// report (and tests over it) are stable.
-			sort.Slice(failures, func(i, k int) bool {
-				return failures[i].Error() < failures[k].Error()
-			})
-			return nil, fmt.Errorf("harness: %d of %d jobs failed: %w",
-				len(failures), len(todo), errors.Join(failures...))
-		}
+		}()
+	}
+	wg.Wait()
+	r.mu.Lock()
+	r.simWall += time.Since(batchStart)
+	r.mu.Unlock()
+	if len(failures) > 0 {
+		// Worker completion order is nondeterministic; sort so the report
+		// (and tests over it) are stable.
+		sort.Slice(failures, func(i, k int) bool {
+			return failures[i].Error() < failures[k].Error()
+		})
+		return nil, fmt.Errorf("harness: %d of %d jobs failed: %w",
+			len(failures), len(todo), errors.Join(failures...))
 	}
 	return out, nil
 }
@@ -184,11 +313,6 @@ func (r *Runner) SimCyclesPerSecond() float64 {
 		return 0
 	}
 	return float64(r.SimCycles()) / s
-}
-
-// keyFor builds a cache key from the run's distinguishing parameters.
-func keyFor(p sim.Preset, mix string, insts int64, extra string) string {
-	return fmt.Sprintf("%v|%s|%d|%s", p, mix, insts, extra)
 }
 
 // baseConfig builds the standard run configuration.
@@ -241,13 +365,4 @@ func (r *Runner) eightCoreMixes() []workload.Mix {
 		out = append(out, cat...)
 	}
 	return out
-}
-
-// figCfgString encodes a FIGCache override compactly for cache keys.
-func figCfgString(c *core.FIGCacheConfig, fastSubarrays int) string {
-	if c == nil {
-		return fmt.Sprintf("fs%d", fastSubarrays)
-	}
-	return fmt.Sprintf("fs%d-seg%d-rows%d-repl%d-thr%d",
-		fastSubarrays, c.SegmentBlocks, c.CacheRowsPerBank, int(c.Replacement), c.InsertThreshold)
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/expcache"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -12,12 +13,21 @@ import (
 func testRunner(t *testing.T) (*Runner, sim.Config) {
 	t.Helper()
 	r := NewRunner(Scale{Insts: 2_000, SingleApps: 1, MixesPerCategory: 1, MCIterations: 10, Parallelism: 1})
+	return r, testConfig(t, "mcf")
+}
+
+// testConfig builds a tiny single-core Base run whose mix carries the
+// given name (the name shows up in failure reports via Config.Describe).
+func testConfig(t *testing.T, mixName string) sim.Config {
+	t.Helper()
 	spec, err := workload.ByName("mcf")
 	if err != nil {
 		t.Fatal(err)
 	}
-	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
-	return r, r.baseConfig(sim.Base, mix)
+	mix := workload.Mix{Name: mixName, Apps: []workload.BenchSpec{spec}}
+	cfg := sim.DefaultConfig(sim.Base, mix)
+	cfg.TargetInsts = 2_000
+	return cfg
 }
 
 // TestRunAllCachesSuccessesOnError verifies that completed runs survive a
@@ -27,27 +37,25 @@ func TestRunAllCachesSuccessesOnError(t *testing.T) {
 	bad := good
 	bad.TargetInsts = -1 // rejected by sim.New
 
-	out, err := r.runAll([]job{{key: "good", cfg: good}, {key: "bad", cfg: bad}})
+	out, err := r.runAll([]sim.Config{good, bad})
 	if err == nil {
 		t.Fatal("runAll accepted an invalid config")
 	}
 	if out != nil {
 		t.Errorf("runAll returned results alongside an error: %v", out)
 	}
-	r.mu.Lock()
-	cached, ok := r.cache["good"]
-	r.mu.Unlock()
+	cached, ok := r.cache.Get(good.Fingerprint())
 	if !ok {
 		t.Fatal("successful run was not cached when a sibling job failed")
 	}
 
 	// The retry must be served from the cache: no new simulated cycles.
 	cyclesBefore := r.SimCycles()
-	out2, err := r.runAll([]job{{key: "good", cfg: good}})
+	out2, err := r.runAll([]sim.Config{good})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(out2["good"], cached) {
+	if !reflect.DeepEqual(out2.of(good), cached) {
 		t.Error("retry returned a different result than the cached run")
 	}
 	if r.SimCycles() != cyclesBefore {
@@ -56,20 +64,17 @@ func TestRunAllCachesSuccessesOnError(t *testing.T) {
 }
 
 // TestRunAllReportsAllFailures verifies that a batch with several broken
-// jobs reports every failed key, not just the first error the worker
+// jobs reports every failed run, not just the first error the worker
 // pool happened to hit.
 func TestRunAllReportsAllFailures(t *testing.T) {
-	r, good := testRunner(t)
-	badTarget := good
+	r, _ := testRunner(t)
+	good := testConfig(t, "ok-mix")
+	badTarget := testConfig(t, "bad-target")
 	badTarget.TargetInsts = -1 // rejected by sim.New
-	badMix := good
+	badMix := testConfig(t, "bad-mix")
 	badMix.Mix.Apps = nil // rejected by sim.New for a different reason
 
-	_, err := r.runAll([]job{
-		{key: "bad-target", cfg: badTarget},
-		{key: "ok", cfg: good},
-		{key: "bad-mix", cfg: badMix},
-	})
+	_, err := r.runAll([]sim.Config{badTarget, good, badMix})
 	if err == nil {
 		t.Fatal("runAll accepted a batch with two invalid configs")
 	}
@@ -79,33 +84,121 @@ func TestRunAllReportsAllFailures(t *testing.T) {
 			t.Errorf("error %q does not mention %q", msg, want)
 		}
 	}
-	if strings.Contains(msg, "ok:") {
+	if strings.Contains(msg, "ok-mix") {
 		t.Errorf("error %q implicates the successful job", msg)
 	}
 	// The successful sibling must still have been cached.
-	r.mu.Lock()
-	_, cached := r.cache["ok"]
-	r.mu.Unlock()
-	if !cached {
+	if _, cached := r.cache.Get(good.Fingerprint()); !cached {
 		t.Error("successful run was not cached alongside two failures")
 	}
 }
 
-// TestRunAllDedupsJobs verifies that duplicate keys in one batch are
-// computed once.
+// TestRunAllDedupsJobs verifies that identical configurations in one
+// batch are computed once (fingerprint dedup replaced the old string
+// keys, so equality is semantic, not syntactic).
 func TestRunAllDedupsJobs(t *testing.T) {
 	r, cfg := testRunner(t)
-	out, err := r.runAll([]job{{key: "k", cfg: cfg}, {key: "k", cfg: cfg}, {key: "k", cfg: cfg}})
+	// The dense-loop twin must dedup against the skipping-engine config:
+	// both engines produce bit-identical results, so DenseLoop is
+	// deliberately outside the fingerprint.
+	twin := cfg
+	twin.DenseLoop = true
+	out, err := r.runAll([]sim.Config{cfg, cfg, twin})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, ok := out["k"]
-	if !ok {
-		t.Fatal("no result for deduplicated key")
+	res := out.of(cfg)
+	if res.Cycles == 0 {
+		t.Fatal("no result for deduplicated config")
 	}
 	// SimCycles counts each computed run once; duplicates served from the
 	// same computation contribute exactly one run's cycles.
 	if got := r.SimCycles(); got != res.Cycles {
 		t.Errorf("sim cycles = %d, want %d (one computation for three identical jobs)", got, res.Cycles)
+	}
+}
+
+// TestRunAllReusesSystems verifies the tentpole reuse path end to end: a
+// single-worker batch of same-shape jobs constructs one System and
+// Reset-reuses it for every subsequent run, and the reused results are
+// identical to fresh ones.
+func TestRunAllReusesSystems(t *testing.T) {
+	r, _ := testRunner(t)
+	var jobs []sim.Config
+	for _, p := range []sim.Preset{sim.Base, sim.FIGCacheFast, sim.LISAVilla} {
+		cfg := testConfig(t, "mcf")
+		cfg.Preset = p
+		jobs = append(jobs, cfg)
+	}
+	out, err := r.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SystemsBuilt(); got != 1 {
+		t.Errorf("built %d Systems for 3 same-shape jobs on 1 worker, want 1", got)
+	}
+	if got := r.SystemsReused(); got != 2 {
+		t.Errorf("reused %d Systems, want 2", got)
+	}
+	// Each reused run must match a cold runner's result bit for bit.
+	for i, cfg := range jobs {
+		fresh, ferr := NewRunner(Scale{Insts: 2_000, Parallelism: 1}).runAll([]sim.Config{cfg})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if !reflect.DeepEqual(out.of(cfg), fresh.of(cfg)) {
+			t.Errorf("job %d (%s): reused-System result differs from cold run", i, cfg.Describe())
+		}
+	}
+}
+
+// TestRunnerWarmDiskCache verifies incremental reruns across processes:
+// a second Runner over the same cache directory recomputes nothing and
+// renders the identical table.
+func TestRunnerWarmDiskCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix in -short mode")
+	}
+	dir := t.TempDir()
+	scale := Scale{Insts: 10_000, SingleApps: 2, MixesPerCategory: 1, MCIterations: 10, Parallelism: 1}
+
+	cold := NewRunnerWithCache(scale, expcache.New(dir), false)
+	coldTab, err := cold.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheStats().DiskHits != 0 {
+		t.Errorf("cold pass reported disk hits: %+v", cold.CacheStats())
+	}
+
+	warm := NewRunnerWithCache(scale, expcache.New(dir), false)
+	warmTab, err := warm.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.SimCycles(); got != 0 {
+		t.Errorf("warm pass simulated %d cycles, want 0 (all runs cache-served)", got)
+	}
+	st := warm.CacheStats()
+	if st.Misses != 0 || st.DiskHits == 0 {
+		t.Errorf("warm pass stats = %+v, want 0 misses and >0 disk hits", st)
+	}
+	if coldTab.Render() != warmTab.Render() {
+		t.Errorf("warm table differs from cold table:\ncold:\n%s\nwarm:\n%s",
+			coldTab.Render(), warmTab.Render())
+	}
+
+	// -force bypasses the warm tier: everything is recomputed...
+	forced := NewRunnerWithCache(scale, expcache.New(dir), true)
+	forcedTab, err := forced.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.SimCycles() == 0 {
+		t.Error("forced pass simulated nothing; -force did not bypass the disk tier")
+	}
+	// ...to the identical result (determinism), which is rewritten.
+	if forcedTab.Render() != coldTab.Render() {
+		t.Error("forced recomputation produced a different table")
 	}
 }

@@ -17,18 +17,20 @@ func (r *Runner) sweepTable(title, note string, variants []sweepVariant) (*stats
 	eights := r.eightCoreMixes()
 	mixes := append(append([]workload.Mix{}, singles...), eights...)
 
-	var jobs []job
+	// variantConfig is both the job builder and the lookup key builder:
+	// the FIG override and fast-subarray count are fingerprinted by
+	// value, so rebuilding the config re-derives the identity.
+	variantConfig := func(v sweepVariant, mix workload.Mix) sim.Config {
+		cfg := r.baseConfig(v.preset, mix)
+		cfg.FIG = v.fig
+		cfg.FastSubarrays = v.fastSubarrays
+		return cfg
+	}
+	var jobs []sim.Config
 	for _, mix := range mixes {
-		base := r.baseConfig(sim.Base, mix)
-		jobs = append(jobs, job{key: keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2"), cfg: base})
+		jobs = append(jobs, r.baseConfig(sim.Base, mix))
 		for _, v := range variants {
-			cfg := r.baseConfig(v.preset, mix)
-			cfg.FIG = v.fig
-			cfg.FastSubarrays = v.fastSubarrays
-			jobs = append(jobs, job{
-				key: keyFor(v.preset, mix.Name, r.scale.Insts, figCfgString(v.fig, v.fastSubarrays)),
-				cfg: cfg,
-			})
+			jobs = append(jobs, variantConfig(v, mix))
 		}
 	}
 	res, err := r.runAll(jobs)
@@ -47,8 +49,8 @@ func (r *Runner) sweepTable(title, note string, variants []sweepVariant) (*stats
 		for _, v := range variants {
 			var vals []float64
 			for _, m := range ms {
-				base := res[keyFor(sim.Base, m.Name, r.scale.Insts, "fs2")]
-				run := res[keyFor(v.preset, m.Name, r.scale.Insts, figCfgString(v.fig, v.fastSubarrays))]
+				base := res.of(r.baseConfig(sim.Base, m))
+				run := res.of(variantConfig(v, m))
 				vals = append(vals, run.WeightedSpeedupOver(base))
 			}
 			row = append(row, stats.F(stats.Mean(vals), 3))

@@ -49,7 +49,7 @@ func (r *Runner) Table2() (*stats.Table, error) {
 	}
 	matches := 0
 	for _, mix := range mixes {
-		mpki := res[keyFor(sim.Base, mix.Name, r.scale.Insts, "fs2")].LLCMPKI()
+		mpki := res.of(r.baseConfig(sim.Base, mix)).LLCMPKI()
 		paperClass := "non-intensive"
 		if mix.Apps[0].MemIntensive {
 			paperClass = "intensive"
@@ -151,13 +151,18 @@ func (r *Runner) Sec83() (*stats.Table, error) {
 // Multithreaded runs the three multithreaded applications (Section 8.1's
 // 16.8% average improvement claim) on Base and FIGCache-Fast.
 func (r *Runner) Multithreaded() (*stats.Table, error) {
-	var jobs []job
+	// SharedFootprint is part of the fingerprint, so the multithreaded
+	// runs can never collide with same-mix multiprogrammed ones.
+	mtConfig := func(p sim.Preset, mix workload.Mix) sim.Config {
+		cfg := r.baseConfig(p, mix)
+		cfg.SharedFootprint = true
+		return cfg
+	}
+	var jobs []sim.Config
 	mixes := workload.MultithreadedWorkloads()
 	for _, mix := range mixes {
 		for _, p := range []sim.Preset{sim.Base, sim.FIGCacheFast} {
-			cfg := r.baseConfig(p, mix)
-			cfg.SharedFootprint = true
-			jobs = append(jobs, job{key: keyFor(p, "mt-"+mix.Name, r.scale.Insts, "fs2"), cfg: cfg})
+			jobs = append(jobs, mtConfig(p, mix))
 		}
 	}
 	res, err := r.runAll(jobs)
@@ -170,8 +175,8 @@ func (r *Runner) Multithreaded() (*stats.Table, error) {
 	}
 	var sps []float64
 	for _, mix := range mixes {
-		base := res[keyFor(sim.Base, "mt-"+mix.Name, r.scale.Insts, "fs2")]
-		fast := res[keyFor(sim.FIGCacheFast, "mt-"+mix.Name, r.scale.Insts, "fs2")]
+		base := res.of(mtConfig(sim.Base, mix))
+		fast := res.of(mtConfig(sim.FIGCacheFast, mix))
 		sp := fast.WeightedSpeedupOver(base)
 		sps = append(sps, sp)
 		t.AddRow(mix.Name, stats.F(sp, 3))

@@ -170,6 +170,39 @@ func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Contr
 // Channel exposes the underlying DRAM channel (stats, tests).
 func (c *Controller) Channel() *dram.Channel { return c.channel }
 
+// Reset returns the controller to its freshly constructed state over the
+// same channel, with a new configuration and cache hook, reusing every
+// allocation (queues, per-bank relocation/claim/last-column arrays, the
+// latency reservoir). Queued requests are dropped without Release: their
+// creator resets its own pool alongside this call. The caller must Reset
+// the channel itself separately.
+func (c *Controller) Reset(cfg Config, cache CacheHook) {
+	if cfg.LatSampleCap == 0 {
+		cfg.LatSampleCap = 2048
+	}
+	c.cfg = cfg
+	c.cache = cache
+	c.readQ.reset(cfg.ReadQueueDepth)
+	c.writeQ.reset(cfg.WriteQueueDepth)
+	c.writing = false
+	for i := range c.pendingRelocs {
+		c.pendingRelocs[i] = nil
+	}
+	c.relocBanks = 0
+	for i := range c.lastColumn {
+		c.lastColumn[i] = 0
+		c.claimed[i] = 0
+	}
+	c.claimGen = 0
+	c.lastTick = -1
+	c.NumReads, c.NumWrites = 0, 0
+	c.CacheHits, c.CacheMisses = 0, 0
+	c.ReadLatencySum, c.Inserted, c.QueueFullStalls = 0, 0, 0
+	c.MaxReadQ, c.MaxWriteQ = 0, 0
+	c.WritingCycles = 0
+	c.latSamples.Reset(cfg.LatSampleCap, uint64(c.ID)+1)
+}
+
 // AccountSkippedTail credits the write-drain diagnostic for no-op ticks
 // between the controller's last tick and the end of the run (bus cycle
 // lastBus inclusive). Tick credits skipped ticks lazily on the next

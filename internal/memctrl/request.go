@@ -46,6 +46,16 @@ func (q *queue) size() int       { return len(q.items) }
 func (q *queue) capacity() int   { return q.cap }
 func (q *queue) push(r *Request) { q.items = append(q.items, r) }
 
+// reset drops every queued request (releasing the pointers for GC) and
+// applies a new capacity, returning the queue to its constructed state.
+func (q *queue) reset(capacity int) {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.cap = capacity
+}
+
 // remove deletes the request at index i, preserving arrival order.
 func (q *queue) remove(i int) {
 	copy(q.items[i:], q.items[i+1:])

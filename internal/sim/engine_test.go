@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -87,7 +88,115 @@ func TestEngineEquivalence(t *testing.T) {
 			if !reflect.DeepEqual(dense, skip) {
 				t.Errorf("engines diverge:\n dense: %+v\n  skip: %+v", dense, skip)
 			}
+
+			// Reset-reuse: a System that already ran a *different*
+			// configuration of the same shape and was Reset to this one
+			// must reproduce the fresh run bit for bit — the contract the
+			// harness's per-worker System pools rely on. The warm-up run
+			// deliberately differs in preset, seed, and target so every
+			// piece of state Reset clears was actually dirty.
+			warm := c.cfg
+			if warm.Preset == FIGCacheFast {
+				warm.Preset = LISAVilla
+			} else {
+				warm.Preset = FIGCacheFast
+			}
+			warm.Seed = c.cfg.Seed + 17
+			warm.TargetInsts = c.insts / 4
+			if warm.TargetInsts < 1_000 {
+				warm.TargetInsts = 1_000
+			}
+			sys, err := New(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Reset(c.cfg); err != nil {
+				t.Fatal(err)
+			}
+			reused, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reused, skip) {
+				t.Errorf("Reset-reused System diverges from fresh run:\n fresh: %+v\nreused: %+v", skip, reused)
+			}
 		})
+	}
+}
+
+// TestResetShapeMismatch checks that Reset refuses to retarget a System
+// across a shape change (core or channel count) instead of corrupting it.
+func TestResetShapeMismatch(t *testing.T) {
+	cfg := DefaultConfig(Base, smallMix(t, "mcf"))
+	cfg.TargetInsts = 1_000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight := DefaultConfig(Base, workload.EightCoreMixes()[0])
+	eight.TargetInsts = 1_000
+	if err := sys.Reset(eight); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("Reset across 1-core -> 8-core returned %v, want ErrShapeMismatch", err)
+	}
+}
+
+// TestResetAcrossClockRatio retargets a System to a different CPU/bus
+// clock ratio: the bus-cycle conversion closure is rebound by Reset, so
+// the reused run must still match a fresh construction exactly.
+func TestResetAcrossClockRatio(t *testing.T) {
+	cfg := DefaultConfig(Base, smallMix(t, "mcf"))
+	cfg.TargetInsts = 10_000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	half := cfg
+	half.CPUPerBus = 2
+	fresh := runWith(t, half, false)
+	if err := sys.Reset(half); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Errorf("reused run at CPUPerBus=2 diverges from fresh run:\n fresh: %+v\nreused: %+v", fresh, got)
+	}
+}
+
+// TestResetRepeatedReuse drives one System through a chain of resets —
+// the steady state of a harness worker — and checks every run against a
+// fresh construction.
+func TestResetRepeatedReuse(t *testing.T) {
+	mix := smallMix(t, "mcf")
+	var sys *System
+	for i, p := range Presets() {
+		cfg := DefaultConfig(p, mix)
+		cfg.TargetInsts = 10_000
+		cfg.Seed = uint64(i + 1)
+		fresh := runWith(t, cfg, false)
+		if sys == nil {
+			var err error
+			if sys, err = New(cfg); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := sys.Reset(cfg); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got, err := sys.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, fresh) {
+			t.Errorf("%v (reset #%d): reused result diverges:\n fresh: %+v\nreused: %+v", p, i, fresh, got)
+		}
 	}
 }
 

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// EngineVersion stamps the generation of the timing model. It is folded
+// into every Config fingerprint, so results persisted by internal/expcache
+// are invalidated wholesale whenever a change to the simulator can alter
+// what a run produces (core model, cache hierarchy, controller scheduling,
+// DRAM timing, workload generation, result collection). Bump it on any
+// such change; leaving it stale lets a warm result cache serve numbers the
+// current engine would no longer compute.
+const EngineVersion = 3
+
+// Fingerprint is a canonical, deterministic identity for one simulation
+// run: equal fingerprints imply bit-identical sim.Results (same engine
+// version, same configuration, same seed). It keys the harness's
+// in-memory result cache and the content-addressed on-disk store.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lowercase hex (the on-disk filename).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint returns the run's canonical identity: a stable hash over
+// the normalized configuration (defaults filled in, so a zero Channels
+// field hashes identically to its explicit default), every workload
+// parameter of the mix, the FIG/LISA overrides, and EngineVersion.
+//
+// DenseLoop is deliberately excluded: the dense and cycle-skipping
+// engines produce bit-identical results (TestEngineEquivalence), so a
+// result computed by either engine may serve both.
+func (c Config) Fingerprint() Fingerprint {
+	// Normalization can fail only for configs sim.New would reject; those
+	// never produce a Result, so hashing the partially-defaulted state is
+	// harmless (the fingerprint is still deterministic).
+	norm := c
+	_ = norm.normalize()
+
+	h := sha256.New()
+	fmt.Fprintf(h, "engine=%d\n", EngineVersion)
+	fmt.Fprintf(h, "preset=%d channels=%d insts=%d maxcycles=%d cpb=%d seed=%d shared=%t fastsub=%d immreloc=%t\n",
+		int(norm.Preset), norm.Channels, norm.TargetInsts, norm.MaxCycles,
+		norm.CPUPerBus, norm.Seed, norm.SharedFootprint, norm.FastSubarrays,
+		norm.ImmediateReloc)
+	fmt.Fprintf(h, "mix=%q intensive=%d\n", norm.Mix.Name, norm.Mix.IntensivePercent)
+	for _, a := range norm.Mix.Apps {
+		// Every generator parameter: two mixes that differ only in a spec
+		// field (sensitivity studies mutate them) must not collide.
+		fmt.Fprintf(h, "app=%q mi=%t bub=%d fp=%d hot=%d str=%d zipf=%g hf=%g seq=%d wf=%g\n",
+			a.Name, a.MemIntensive, a.Bubbles, a.FootprintBytes, a.HotSegments,
+			a.Streams, a.ZipfTheta, a.HotFraction, a.SeqRun, a.WriteFrac)
+	}
+	if f := norm.FIG; f != nil {
+		fmt.Fprintf(h, "fig=%d,%d,%d,%d,%d,%d,%d,%d\n",
+			f.SegmentBlocks, f.CacheRowsPerBank, int(f.Replacement), f.InsertThreshold,
+			f.BenefitBits, f.ReservedSubarray, int(f.Substrate), f.Seed)
+	} else {
+		io.WriteString(h, "fig=default\n")
+	}
+	if l := norm.LISA; l != nil {
+		fmt.Fprintf(h, "lisa=%d,%d,%d,%d,%d\n",
+			l.CacheRowsPerBank, l.FastSubarrays, l.HotThreshold, l.EpochMisses, l.Seed)
+	} else {
+		io.WriteString(h, "lisa=default\n")
+	}
+
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// ShapeKey identifies the structural shape a System is built with — the
+// dimensions that size its long-lived allocations (channel count and core
+// count; the hierarchy, controller queues, and bank arrays follow from
+// them). Reset can retarget a System to any configuration of the same
+// shape; the harness's per-worker pools key reusable Systems by it.
+func (c Config) ShapeKey() string {
+	norm := c
+	_ = norm.normalize()
+	return fmt.Sprintf("%dch-%dcore", norm.Channels, len(norm.Mix.Apps))
+}
+
+// Describe returns a short human-readable run identity for error messages
+// and logs (not a cache key; Fingerprint is the identity).
+func (c Config) Describe() string {
+	return fmt.Sprintf("%v/%s@%d", c.Preset, c.Mix.Name, c.TargetInsts)
+}

@@ -1,0 +1,56 @@
+// Cache round-trip equivalence lives in an external test package: it
+// exercises internal/expcache over real sim.Results, and expcache imports
+// sim, so the in-package test file cannot reach it.
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expcache"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestEngineEquivalenceCacheRoundTrip is the persistence leg of the
+// engine-equivalence contract: for every preset, a Result that went
+// through the on-disk cache (JSON encode, atomic write, fresh-process
+// read) must be bit-identical to the Result the simulation produced —
+// floats included, which Go's JSON encoder guarantees via shortest
+// round-trip formatting.
+func TestEngineEquivalenceCacheRoundTrip(t *testing.T) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	dir := t.TempDir()
+	writer := expcache.New(dir)
+	for _, p := range sim.Presets() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := sim.DefaultConfig(p, mix)
+			cfg.TargetInsts = 10_000
+			s, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := cfg.Fingerprint()
+			if err := writer.Put(fp, want); err != nil {
+				t.Fatal(err)
+			}
+			// A fresh cache over the directory models the next process.
+			got, ok := expcache.New(dir).Get(fp)
+			if !ok {
+				t.Fatal("persisted result missed")
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("cache round-trip is not bit-identical:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

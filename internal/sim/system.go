@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
@@ -37,6 +38,11 @@ type System struct {
 	// iteration, so the closed form is sized exactly once per cycle.
 	ctrlWake  []int64
 	coreBatch []int64
+
+	// latencyLanes maps a fixed cache-level latency to its FIFO lane
+	// scheduler (see LevelScheduler); lanes are bound once at construction
+	// and survive Reset.
+	latencyLanes map[int64]*laneScheduler
 }
 
 // New builds a system for the configuration.
@@ -77,23 +83,40 @@ func New(cfg Config) (*System, error) {
 	for _, ctrl := range s.ctrls {
 		ctrl.Release = s.adapter.release
 	}
-	cpb := cfg.CPUPerBus
-	s.busSched = func(at int64, fn func(int64)) {
-		s.events.schedule(at*cpb, fn)
-	}
+	s.bindBusSched()
 	hier, err := cache.NewHierarchy(cfg.hierarchyConfig(), s.adapter, s)
 	if err != nil {
 		return nil, err
 	}
 	s.hier = hier
 
-	// Build cores with equal disjoint address windows (or one shared
-	// window for multithreaded workloads). Each benchmark's footprint is
-	// scattered across its whole window by the generator, mimicking OS
-	// page placement across banks and subarrays.
-	span := uint64(mapper.TotalBytes())
+	if err := s.initCores(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bindBusSched (re)binds the bus-to-CPU clock conversion closure for the
+// current configuration's CPUPerBus ratio. Bound per New/Reset rather
+// than per tick, so the hot path never evaluates a fresh closure.
+func (s *System) bindBusSched() {
+	cpb := s.cfg.CPUPerBus
+	s.busSched = func(at int64, fn func(int64)) {
+		s.events.schedule(at*cpb, fn)
+	}
+}
+
+// initCores builds (fresh) or retargets (reuse) the per-core trace
+// generators and cores for s.cfg. Cores get equal disjoint address
+// windows (or one shared window for multithreaded workloads); each
+// benchmark's footprint is scattered across its whole window by the
+// generator, mimicking OS page placement across banks and subarrays.
+func (s *System) initCores(fresh bool) error {
+	cfg := s.cfg
+	geo := cfg.geometry()
+	span := uint64(s.mapper.TotalBytes())
 	if !cfg.SharedFootprint {
-		span = floorPow2(uint64(mapper.TotalBytes()) / uint64(len(cfg.Mix.Apps)))
+		span = floorPow2(uint64(s.mapper.TotalBytes()) / uint64(len(cfg.Mix.Apps)))
 	}
 	for i, app := range cfg.Mix.Apps {
 		base := uint64(0)
@@ -101,7 +124,7 @@ func New(cfg Config) (*System, error) {
 			base = uint64(i) * span
 		}
 		if uint64(app.FootprintBytes) > span {
-			return nil, fmt.Errorf("sim: %s footprint %d exceeds its %d-byte window",
+			return fmt.Errorf("sim: %s footprint %d exceeds its %d-byte window",
 				app.Name, app.FootprintBytes, span)
 		}
 		// The generator needs the distance between two rows of the same
@@ -118,15 +141,115 @@ func New(cfg Config) (*System, error) {
 		}
 		gen, err := workload.NewGeneratorLayout(app, cfg.Seed+uint64(i)*1315423911, base, span, layout)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		c, err := cpu.New(i, cfg.coreConfig(), gen, hier.L1s[i], cfg.TargetInsts)
-		if err != nil {
-			return nil, err
+		if fresh {
+			c, err := cpu.New(i, cfg.coreConfig(), gen, s.hier.L1s[i], cfg.TargetInsts)
+			if err != nil {
+				return err
+			}
+			s.cores = append(s.cores, c)
+		} else if err := s.cores[i].Reset(cfg.coreConfig(), gen, cfg.TargetInsts); err != nil {
+			return err
 		}
-		s.cores = append(s.cores, c)
 	}
-	return s, nil
+	return nil
+}
+
+// ErrShapeMismatch reports that Reset was asked to retarget a System to a
+// configuration whose structural shape (channel count or core count, see
+// Config.ShapeKey) differs from the one the System was built with. The
+// caller should construct a fresh System instead.
+var ErrShapeMismatch = errors.New("sim: Reset config shape differs from the System's")
+
+// Reset retargets the System to a new configuration of the same shape,
+// reusing every expensive allocation a fresh construction would redo:
+// cache line arrays, the event queue and its FIFO lanes, pooled
+// memctrl.Requests and MSHRs, DRAM bank objects, controller queues and
+// per-bank arrays, and the core window rings. After a successful Reset
+// the System is observationally identical to sim.New(cfg) — enforced
+// bit-for-bit by TestEngineEquivalence's reuse cases. On error the System
+// must be discarded (state may be partially reinitialized).
+//
+// The in-DRAM cache hooks are rebuilt rather than reset: their tag-store
+// state is configuration-dependent and tiny next to the arrays above.
+func (s *System) Reset(cfg Config) error {
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	if cfg.Channels != s.cfg.Channels || len(cfg.Mix.Apps) != len(s.cfg.Mix.Apps) {
+		return fmt.Errorf("%w: have %s, want %s", ErrShapeMismatch, s.cfg.ShapeKey(), cfg.ShapeKey())
+	}
+	geo := cfg.geometry()
+	allFast := cfg.Preset == LLDRAM
+
+	mapper, err := memctrl.NewAddrMapper(geo, cfg.Channels)
+	if err != nil {
+		return err
+	}
+	s.mapper = mapper
+
+	for ch, channel := range s.channels {
+		if err := channel.Reset(geo, allFast); err != nil {
+			return err
+		}
+		hook, err := cfg.buildHook(geo)
+		if err != nil {
+			return err
+		}
+		mcCfg := memctrl.DefaultConfig()
+		mcCfg.ImmediateReloc = cfg.ImmediateReloc
+		s.hooks[ch] = hook
+		s.ctrls[ch].Reset(mcCfg, hook)
+	}
+	s.adapter.reset()
+	s.hier.Reset()
+
+	s.cfg = cfg
+	s.clock = 0
+	s.bindBusSched() // the closure captures CPUPerBus, which may change
+	s.events.reset()
+	// The wake/batch scratch slices keep their length (same controller and
+	// core counts); a zero wake forces a tick at the first bus boundary,
+	// exactly like first construction.
+	for i := range s.ctrlWake {
+		s.ctrlWake[i] = 0
+	}
+	for i := range s.coreBatch {
+		s.coreBatch[i] = 0
+	}
+	return s.initCores(false)
+}
+
+// LevelScheduler implements cache.LevelSchedulerFactory: cache levels get
+// FIFO lanes of the event queue, one lane per distinct lookup latency. A
+// fixed delay makes a lane's due times monotonic no matter how many
+// caches feed it, so the lane count stays at the number of distinct
+// latencies (three for the Table 1 hierarchy) instead of growing with the
+// core count — the per-event cost of servicing lanes scales with lane
+// count. Each lane replaces a heap push/pop pair per cache event, the
+// hottest event source in the simulator.
+func (s *System) LevelScheduler(latency int64) cache.Scheduler {
+	if sched, ok := s.latencyLanes[latency]; ok {
+		return sched
+	}
+	if s.latencyLanes == nil {
+		s.latencyLanes = make(map[int64]*laneScheduler)
+	}
+	sched := &laneScheduler{sys: s, lane: s.events.newLane()}
+	s.latencyLanes[latency] = sched
+	return sched
+}
+
+// laneScheduler defers callbacks onto one FIFO lane of the system's event
+// queue.
+type laneScheduler struct {
+	sys  *System
+	lane int
+}
+
+func (l *laneScheduler) After(delay int64, fn func(now int64)) {
+	l.sys.events.scheduleLane(l.lane, l.sys.clock+delay, fn)
 }
 
 // floorPow2 rounds v down to a power of two.
@@ -183,6 +306,22 @@ type memAdapter struct {
 type pendingReq struct {
 	channel int
 	req     *memctrl.Request
+}
+
+// reset drops buffered requests and clears the per-channel markers while
+// keeping the request pool: the steady-state peak of one run seeds the
+// next run's pool. Requests still sitting in controller queues are
+// abandoned (the controllers drop them on their own Reset); the pool
+// simply regrows to its working set if needed.
+func (m *memAdapter) reset() {
+	for i := range m.pending {
+		m.pending[i] = pendingReq{}
+	}
+	m.pending = m.pending[:0]
+	for i := range m.blocked {
+		m.blocked[i] = false
+		m.enqueued[i] = false
+	}
 }
 
 // Request implements cache.Backend.
