@@ -20,6 +20,15 @@
 // a rerun only recomputes runs the current binary would produce
 // differently; -force recomputes everything and rewrites the store. See
 // the "Warm cache" section of the README for the versioning contract.
+//
+// With -shard K/N the experiment matrix is fanned out across machines:
+// each invocation enumerates the full job index of the selected
+// experiments, computes only its fingerprint-ordered 1/N slice into
+// -cache-dir (no tables are rendered), and writes a shard manifest
+// describing the split. Collect the cache directories, merge them with
+// figmerge, and rerun figbench unsharded against the merged directory:
+// it recomputes nothing and renders tables byte-identical to a
+// single-machine run. See ARCHITECTURE.md for the full workflow.
 package main
 
 import (
@@ -45,6 +54,7 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = in-memory only)")
 	force := flag.Bool("force", false, "recompute cached runs and rewrite the persistent cache")
+	shard := flag.String("shard", "", "compute only slice K/N of the experiment matrix into -cache-dir (no tables are rendered; merge shards with figmerge)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -52,10 +62,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	cache := expcache.New(*cacheDir)
 	r := harness.NewRunnerWithCache(harness.Scale{
 		Insts: *insts, SingleApps: *apps, MixesPerCategory: *mixes,
 		MCIterations: *mc, Parallelism: *par,
-	}, expcache.New(*cacheDir), *force)
+	}, cache, *force)
 
 	type experiment struct {
 		name string
@@ -102,18 +113,59 @@ func main() {
 		}
 	}
 
-	for _, e := range catalog {
-		if !want[e.name] {
-			continue
-		}
-		start := time.Now()
-		tab, err := e.run()
+	if *shard != "" {
+		// Shard mode: enumerate the selected experiments' full job
+		// index, compute only this shard's fingerprint-ordered slice
+		// into the cache directory, and describe the split in a
+		// manifest so figmerge can validate the reassembled matrix. No
+		// tables are rendered — that is the job of an unsharded rerun
+		// against the merged directory, which recomputes nothing.
+		k, n, err := harness.ParseShard(*shard)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figbench: %s: %v\n", e.name, err)
+			fmt.Fprintln(os.Stderr, "figbench:", err)
+			os.Exit(2)
+		}
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "figbench: -shard requires -cache-dir (the shard's results must land somewhere)")
+			os.Exit(2)
+		}
+		var names []string
+		var builders []func() (*stats.Table, error)
+		for _, e := range catalog {
+			if want[e.name] {
+				names = append(names, e.name)
+				builders = append(builders, e.run)
+			}
+		}
+		jobs, err := r.EnumerateJobs(builders...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: enumerating jobs: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(tab.Render())
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		mine := harness.ShardJobs(jobs, k, n)
+		fmt.Printf("shard %d/%d: %d of %d matrix jobs\n", k, n, len(mine), len(jobs))
+		if _, err := r.RunJobs(mine); err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cache.WriteManifest(r.ShardManifest(jobs, k, n, names)); err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, e := range catalog {
+			if !want[e.name] {
+				continue
+			}
+			start := time.Now()
+			tab, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figbench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(tab.Render())
+			fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		}
 	}
 	if cps := r.SimCyclesPerSecond(); cps > 0 {
 		fmt.Printf("simulator throughput: %d cycles in %.1fs of simulation (%.2fM sim-cycles/s)\n",
@@ -125,6 +177,9 @@ func main() {
 		r.SystemsBuilt(), r.SystemsReused())
 	if *cacheDir != "" {
 		fmt.Printf(" dir=%s", *cacheDir)
+	}
+	if *shard != "" {
+		fmt.Printf(" shard=%s", *shard)
 	}
 	if st.DiskError > 0 {
 		fmt.Printf(" disk-errors=%d", st.DiskError)

@@ -1,0 +1,82 @@
+// Command figmerge reassembles an experiment matrix computed in shards:
+// it merges the result-cache directories that figbench -shard runs filled
+// on separate machines into one directory an unsharded figbench run can
+// render from without recomputing anything.
+//
+// Usage:
+//
+//	figmerge [-force] [-dry-run] -out DIR SRC_DIR...
+//	figmerge -out merged .cache-shard1 .cache-shard2
+//
+// Before writing a single file, figmerge validates the merge end to end:
+// every result entry must parse and carry the current engine/format
+// stamps under its claimed fingerprint, every shard manifest must
+// describe the same matrix, the union of shards should cover it, every
+// fingerprint assigned to a present shard must have an entry, no entry
+// may fall outside the matrix, and no two sources may disagree on an
+// entry's bytes (the simulator is deterministic — disagreement means the
+// shards ran different engine builds or configurations). Any violation
+// aborts the merge with nothing written.
+//
+// -force proceeds anyway on a first-source-wins basis; missing pieces
+// stay missing and are recomputed by the next figbench run against the
+// merged directory. That is also how deliberate partial merges are done
+// (e.g. folding in shards as they finish). -dry-run validates and
+// reports without writing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expcache"
+)
+
+func main() {
+	out := flag.String("out", "", "destination cache directory (created if missing; may be one of the sources)")
+	force := flag.Bool("force", false, "merge despite validation problems (first source wins on conflicts)")
+	dryRun := flag.Bool("dry-run", false, "validate and report only; write nothing")
+	flag.Parse()
+
+	srcs := flag.Args()
+	if *out == "" && !*dryRun {
+		fmt.Fprintln(os.Stderr, "figmerge: -out is required (or use -dry-run)")
+		usage()
+		os.Exit(2)
+	}
+	if len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "figmerge: no source directories")
+		usage()
+		os.Exit(2)
+	}
+
+	rep, err := merge(*out, srcs, *force, *dryRun)
+	if rep != nil {
+		for _, p := range rep.Problems() {
+			fmt.Fprintln(os.Stderr, "figmerge: problem:", p)
+		}
+		fmt.Println("figmerge:", rep.Summary())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figmerge:", err)
+		os.Exit(1)
+	}
+	if *dryRun && rep != nil && len(rep.Problems()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// merge runs the validation-plus-copy; with dryRun it validates via a
+// forced merge into nowhere by asking Merge to stop before writing.
+func merge(out string, srcs []string, force, dryRun bool) (*expcache.MergeReport, error) {
+	if dryRun {
+		return expcache.Validate(srcs)
+	}
+	return expcache.Merge(out, srcs, force)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: figmerge [-force] [-dry-run] -out DIR SRC_DIR...")
+	flag.PrintDefaults()
+}

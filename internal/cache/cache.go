@@ -1,8 +1,3 @@
-// Package cache implements the SRAM cache hierarchy of the simulated
-// system (Table 1): per-core L1 (64 kB, 4-way) and L2 (256 kB, 8-way)
-// caches and a shared last-level cache (2 MB per core, 16-way), all
-// write-back write-allocate with LRU replacement and MSHR-based miss
-// handling.
 package cache
 
 import (

@@ -1,0 +1,15 @@
+// Package cache implements the SRAM cache hierarchy of the simulated
+// system (Table 1): per-core L1 (64 kB, 4-way) and L2 (256 kB, 8-way)
+// caches and a shared last-level cache (2 MB per core, 16-way), all
+// write-back write-allocate with LRU replacement and MSHR-based miss
+// handling.
+//
+// In the layer stack this package sits between the core model
+// (internal/cpu issues loads and stores into the L1) and the memory
+// controller (internal/memctrl receives LLC misses and write-backs). It
+// is a timing filter, not a data store: lookups and fills move tags and
+// occupancy, and only misses that escape the LLC become DRAM traffic.
+// The hierarchy is on the simulator's zero-allocation steady-state path:
+// lines live in one flat, pointer-free array per cache and MSHRs are
+// pooled, which BenchmarkAccessPathAllocs enforces.
+package cache

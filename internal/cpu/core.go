@@ -1,10 +1,3 @@
-// Package cpu implements the trace-driven processor core model of the
-// simulated system (Table 1): a simplified out-of-order core with a
-// 256-entry instruction window and 3-wide issue/retire, in the style of
-// Ramulator's attached core model. Non-memory instructions occupy window
-// entries and retire immediately; loads occupy an entry until their data
-// returns from the cache hierarchy; stores retire immediately (modelling
-// a write buffer) but still traverse the hierarchy.
 package cpu
 
 import (

@@ -1,16 +1,3 @@
-// Package dram models a DDR4-style DRAM device at command-level timing
-// accuracy: channels, ranks, bank groups, banks, subarrays, rows and
-// columns, together with the JEDEC timing constraints that govern when
-// each command may issue.
-//
-// The model is the substrate on which the FIGARO substrate (column
-// granularity in-DRAM relocation through the shared global row buffer) and
-// the FIGCache in-DRAM cache are built, reproducing the system evaluated in
-// "FIGARO: Improving System Performance via Fine-Grained In-DRAM Data
-// Relocation and Caching" (MICRO 2020).
-//
-// Time inside this package is measured in DRAM bus clock cycles (nCK). For
-// DDR4-1600 the bus clock is 800 MHz, so one cycle is 1.25 ns.
 package dram
 
 import "fmt"

@@ -1,12 +1,3 @@
-// Package energy models system energy consumption in the style of the
-// paper's methodology (Section 7): per-component accounting for CPU cores
-// (McPAT), SRAM caches (CACTI), the off-chip interconnect (Orion) and
-// DRAM (DRAMPower). Since those tools are unavailable, the model uses
-// fixed per-operation energies and static powers representative of a
-// 22 nm system, chosen so the Base breakdown matches the proportions of
-// Figure 11; the paper's energy deltas arise from ACT/PRE amortisation
-// (row-buffer hits) and runtime reduction, both of which this model
-// captures directly from the simulation counters.
 package energy
 
 import (

@@ -1,0 +1,34 @@
+// Package expcache is the experiment-result store behind the harness: a
+// two-tier cache of sim.Results keyed by sim.Fingerprint, plus the
+// manifest and merge machinery that lets a result store be assembled
+// from shards computed on different machines.
+//
+// # Result cache
+//
+// Tier one is an in-process map (shared-run dedup within one
+// figbench/test invocation); tier two is an optional content-addressed
+// on-disk store that makes full-matrix reruns incremental — a rerun
+// after a code change only recomputes runs whose fingerprint (which
+// folds in sim.EngineVersion) changed.
+//
+// Disk entries are versioned JSON envelopes named <fingerprint>.json.
+// Reads are defensive: a corrupt, truncated, foreign-format, or
+// stale-engine file is a miss, never an error — the run is simply
+// recomputed and the entry rewritten. Writes are atomic (temp file +
+// rename), so concurrent writers of the same fingerprint — racing
+// processes, or racing workers of one process — land one complete entry.
+//
+// # Shard manifests and merging
+//
+// A sharded figbench run (-shard K/N) computes a 1/N slice of the
+// experiment matrix into its cache directory and records a Manifest
+// there: the engine version, the full fingerprint index of the matrix,
+// and the slice this shard owned. Merge combines several such
+// directories into one, validating entry integrity and matrix coverage
+// (missing shards, missing or extra entries, byte-level conflicts)
+// before writing anything; a directory holding every shard serves a
+// subsequent unsharded figbench run without any recomputation. Unlike
+// cache reads, merge validation treats defects as errors — a merge
+// asserts coverage, so problems must surface rather than degrade into
+// recomputation on some later machine.
+package expcache

@@ -1,17 +1,3 @@
-// Package expcache is the experiment-result cache behind the harness: a
-// two-tier store of sim.Results keyed by sim.Fingerprint. Tier one is an
-// in-process map (shared-run dedup within one figbench/test invocation);
-// tier two is an optional content-addressed on-disk store that makes
-// full-matrix reruns incremental — a rerun after a code change only
-// recomputes runs whose fingerprint (which folds in sim.EngineVersion)
-// changed.
-//
-// Disk entries are versioned JSON envelopes named <fingerprint>.json.
-// Reads are defensive: a corrupt, truncated, foreign-format, or
-// stale-engine file is a miss, never an error — the run is simply
-// recomputed and the entry rewritten. Writes are atomic (temp file +
-// rename), so concurrent writers of the same fingerprint — racing
-// processes, or racing workers of one process — land one complete entry.
 package expcache
 
 import (
@@ -145,6 +131,26 @@ func (c *Cache) path(fp sim.Fingerprint) string {
 	return filepath.Join(c.dir, fp.String()+".json")
 }
 
+// decodeEntry parses and validates one on-disk envelope against the
+// fingerprint its filename claims. Any defect — unparsable JSON, foreign
+// format, stale engine, or a fingerprint mismatch (renamed file) — is an
+// error; Cache reads map it to a miss, figmerge reports it as corruption.
+func decodeEntry(data []byte, fp string) (entry, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return entry{}, fmt.Errorf("unparsable entry: %w", err)
+	}
+	switch {
+	case e.Format != FormatVersion:
+		return entry{}, fmt.Errorf("entry format %d, want %d", e.Format, FormatVersion)
+	case e.Engine != sim.EngineVersion:
+		return entry{}, fmt.Errorf("entry engine %d, want %d", e.Engine, sim.EngineVersion)
+	case e.Fingerprint != fp:
+		return entry{}, fmt.Errorf("entry fingerprint %.12s... does not match filename %.12s...", e.Fingerprint, fp)
+	}
+	return e, nil
+}
+
 // readDisk loads and validates one entry; any defect is (zero, false).
 // Caller holds c.mu (the read itself races only with atomic renames, so
 // holding the lock just keeps the stats consistent).
@@ -156,34 +162,22 @@ func (c *Cache) readDisk(fp sim.Fingerprint) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false
 	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return sim.Result{}, false // corrupt or truncated: recompute
-	}
-	if e.Format != FormatVersion || e.Engine != sim.EngineVersion || e.Fingerprint != fp.String() {
-		return sim.Result{}, false // foreign layout, stale engine, or renamed file
+	e, err := decodeEntry(data, fp.String())
+	if err != nil {
+		return sim.Result{}, false // corrupt, stale, or renamed: recompute
 	}
 	return e.Result, true
 }
 
-// writeDisk atomically persists one entry: encode, write to a temp file
-// in the same directory, rename over the final name. Concurrent writers
-// of the same fingerprint each rename a complete file, so readers never
-// observe a partial entry.
-func (c *Cache) writeDisk(fp sim.Fingerprint, res sim.Result) error {
-	if err := os.MkdirAll(c.dir, 0o777); err != nil {
+// writeFileAtomic writes data to dir/name via a temp file in the same
+// directory plus a rename, creating dir as needed. Concurrent writers of
+// the same name each rename a complete file, so readers never observe a
+// partial one.
+func writeFileAtomic(dir, name string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return err
 	}
-	data, err := json.Marshal(entry{
-		Format:      FormatVersion,
-		Engine:      sim.EngineVersion,
-		Fingerprint: fp.String(),
-		Result:      res,
-	})
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(c.dir, fp.String()+".tmp-*")
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -196,9 +190,23 @@ func (c *Cache) writeDisk(fp sim.Fingerprint, res sim.Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), c.path(fp)); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
 	return nil
+}
+
+// writeDisk atomically persists one entry.
+func (c *Cache) writeDisk(fp sim.Fingerprint, res sim.Result) error {
+	data, err := json.Marshal(entry{
+		Format:      FormatVersion,
+		Engine:      sim.EngineVersion,
+		Fingerprint: fp.String(),
+		Result:      res,
+	})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(c.dir, fp.String()+".json", data)
 }

@@ -1,0 +1,263 @@
+package expcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MergeReport describes what a Merge found and did. All slices are
+// sorted, so reports (and tests over them) are deterministic.
+type MergeReport struct {
+	Srcs      int // source directories scanned
+	Manifests int // distinct shard manifests kept
+	NumShards int // total shards the manifests describe (0: none found)
+	Matrix    int // full matrix size (distinct fingerprints)
+
+	ShardsPresent []int
+	MissingShards []int
+
+	Entries int // distinct valid entries discovered across sources
+	Written int // files written into the destination
+
+	Missing             []string // assigned to a present shard, but no entry
+	Extra               []string // valid entries outside the matrix
+	Conflicts           []string // same fingerprint, different result bytes
+	Corrupt             []string // unreadable or invalid entry files
+	BadManifests        []string // unreadable or invalid manifest files
+	MismatchedManifests []string // manifests of a different matrix
+}
+
+// Problems returns human-readable lines for every condition that makes
+// the merge unsafe; empty means the merge is clean and complete.
+func (r *MergeReport) Problems() []string {
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	if r.Manifests == 0 {
+		add("no shard manifests found: cannot validate coverage")
+	}
+	for _, s := range r.BadManifests {
+		add("bad manifest: %s", s)
+	}
+	for _, s := range r.MismatchedManifests {
+		add("manifest from a different matrix: %s", s)
+	}
+	if len(r.MissingShards) > 0 {
+		add("missing shards: %v of %d", r.MissingShards, r.NumShards)
+	}
+	for _, s := range r.Missing {
+		add("missing entry: %.12s...", s)
+	}
+	for _, s := range r.Extra {
+		add("entry outside the matrix: %.12s...", s)
+	}
+	for _, s := range r.Conflicts {
+		add("conflicting entries: %.12s...", s)
+	}
+	for _, s := range r.Corrupt {
+		add("corrupt entry: %s", s)
+	}
+	return out
+}
+
+// Summary returns a one-line account of the merge for logs.
+func (r *MergeReport) Summary() string {
+	return fmt.Sprintf("%d srcs: shards %v of %d, %d/%d entries, %d manifests, %d files written",
+		r.Srcs, r.ShardsPresent, r.NumShards, r.Entries, r.Matrix, r.Manifests, r.Written)
+}
+
+// mergedFile is one deduplicated file chosen for the destination.
+type mergedFile struct {
+	name string
+	data []byte
+}
+
+// Merge combines the result entries and shard manifests of several cache
+// directories into dst, validating everything first:
+//
+//   - every entry must parse, carry the current engine and format
+//     stamps, and match its filename's fingerprint;
+//   - all manifests must describe the same matrix (same shard count and
+//     fingerprint list); the union of their shards should cover it;
+//   - every fingerprint assigned to a present shard must have an entry,
+//     no entry may fall outside the matrix, and two sources must not
+//     disagree on an entry's bytes (the engine is deterministic, so
+//     byte-level disagreement means version or configuration drift).
+//
+// When any of that fails and force is false, Merge reports the problems
+// and writes nothing. With force, the merge proceeds on a first-source-
+// wins basis: corrupt files and mismatched manifests are skipped,
+// conflicting entries keep the earliest source's bytes, and missing
+// pieces stay missing (a warm figbench run against the result simply
+// recomputes them) — which is also how partial, incremental merges are
+// done deliberately.
+//
+// dst may be one of the sources. Writes are atomic per file.
+func Merge(dst string, srcs []string, force bool) (*MergeReport, error) {
+	rep, entries, order, manifestFiles, err := collect(srcs)
+	if err != nil {
+		return rep, err
+	}
+	if problems := rep.Problems(); len(problems) > 0 && !force {
+		return rep, fmt.Errorf("expcache: unsafe merge (%d problems, use force to override):\n  %s",
+			len(problems), strings.Join(problems, "\n  "))
+	}
+
+	// Write phase: everything validated (or forced).
+	sort.Strings(order)
+	for _, fp := range order {
+		f := entries[fp]
+		if err := writeFileAtomic(dst, f.name, f.data); err != nil {
+			return rep, fmt.Errorf("expcache: %w", err)
+		}
+		rep.Written++
+	}
+	sort.Slice(manifestFiles, func(i, j int) bool { return manifestFiles[i].name < manifestFiles[j].name })
+	for _, f := range manifestFiles {
+		if err := writeFileAtomic(dst, f.name, f.data); err != nil {
+			return rep, fmt.Errorf("expcache: %w", err)
+		}
+		rep.Written++
+	}
+	return rep, nil
+}
+
+// Validate runs the full merge validation over srcs without writing
+// anything; problems are reported via MergeReport.Problems. The error is
+// non-nil only for I/O failures.
+func Validate(srcs []string) (*MergeReport, error) {
+	rep, _, _, _, err := collect(srcs)
+	return rep, err
+}
+
+// collect is the read-and-validate phase shared by Merge and Validate.
+func collect(srcs []string) (rep *MergeReport, entries map[string]mergedFile, order []string, manifestFiles []mergedFile, err error) {
+	rep = &MergeReport{Srcs: len(srcs)}
+
+	// One pass over each source: classify every file as shard manifest
+	// or result entry by name. The first valid manifest (sources in
+	// argument order, files in directory order) anchors the matrix; for
+	// entries the first source wins and later byte-level disagreement is
+	// a conflict.
+	var ref *Manifest
+	manifests := map[int]*Manifest{} // shard -> kept manifest
+	entries = map[string]mergedFile{}
+	for _, src := range srcs {
+		des, err := os.ReadDir(src)
+		if err != nil {
+			return rep, nil, nil, nil, fmt.Errorf("expcache: %w", err)
+		}
+		for _, de := range des {
+			name := de.Name()
+			if de.IsDir() {
+				continue
+			}
+			switch {
+			case isManifestName(name):
+				path := filepath.Join(src, name)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					rep.BadManifests = append(rep.BadManifests, path+": "+err.Error())
+					continue
+				}
+				var m Manifest
+				if err := json.Unmarshal(data, &m); err != nil {
+					rep.BadManifests = append(rep.BadManifests, path+": "+err.Error())
+					continue
+				}
+				if err := m.Validate(); err != nil {
+					rep.BadManifests = append(rep.BadManifests, path+": "+err.Error())
+					continue
+				}
+				if ref == nil {
+					ref = &m
+				} else if !sameMatrix(ref, &m) {
+					rep.MismatchedManifests = append(rep.MismatchedManifests, path)
+					continue
+				}
+				if manifests[m.Shard] == nil {
+					manifests[m.Shard] = &m
+					manifestFiles = append(manifestFiles, mergedFile{name: name, data: data})
+				}
+			case isEntryName(name):
+				path := filepath.Join(src, name)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					rep.Corrupt = append(rep.Corrupt, path+": "+err.Error())
+					continue
+				}
+				fp := name[:len(name)-len(".json")]
+				if _, err := decodeEntry(data, fp); err != nil {
+					rep.Corrupt = append(rep.Corrupt, path+": "+err.Error())
+					continue
+				}
+				if prev, ok := entries[fp]; ok {
+					if !bytes.Equal(prev.data, data) {
+						rep.Conflicts = append(rep.Conflicts, fp)
+					}
+					continue
+				}
+				entries[fp] = mergedFile{name: name, data: data}
+				order = append(order, fp)
+			}
+		}
+	}
+	rep.Manifests = len(manifests)
+	rep.Entries = len(entries)
+	if ref != nil {
+		rep.NumShards = ref.NumShards
+		rep.Matrix = len(ref.Fingerprints)
+	}
+
+	// Coverage against the union of manifests.
+	if ref != nil {
+		inMatrix := make(map[string]bool, len(ref.Fingerprints))
+		for _, fp := range ref.Fingerprints {
+			inMatrix[fp] = true
+		}
+		for s := 1; s <= ref.NumShards; s++ {
+			if manifests[s] != nil {
+				rep.ShardsPresent = append(rep.ShardsPresent, s)
+			} else {
+				rep.MissingShards = append(rep.MissingShards, s)
+			}
+		}
+		for _, m := range manifests {
+			for _, fp := range m.Assigned {
+				if _, ok := entries[fp]; !ok {
+					rep.Missing = append(rep.Missing, fp)
+				}
+			}
+		}
+		for _, fp := range order {
+			if !inMatrix[fp] {
+				rep.Extra = append(rep.Extra, fp)
+			}
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Extra)
+	sort.Strings(rep.Conflicts)
+	sort.Strings(rep.Corrupt)
+	sort.Strings(rep.BadManifests)
+	sort.Strings(rep.MismatchedManifests)
+	return rep, entries, order, manifestFiles, nil
+}
+
+// sameMatrix reports whether two manifests describe the same experiment
+// matrix: identical shard split and identical fingerprint list.
+func sameMatrix(a, b *Manifest) bool {
+	if a.NumShards != b.NumShards || len(a.Fingerprints) != len(b.Fingerprints) {
+		return false
+	}
+	for i := range a.Fingerprints {
+		if a.Fingerprints[i] != b.Fingerprints[i] {
+			return false
+		}
+	}
+	return true
+}

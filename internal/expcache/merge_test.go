@@ -1,0 +1,334 @@
+package expcache
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testFP fabricates a distinct, deterministic fingerprint.
+func testFP(i int) sim.Fingerprint {
+	var fp sim.Fingerprint
+	binary.BigEndian.PutUint64(fp[:8], uint64(i)*0x9e3779b97f4a7c15+1)
+	return fp
+}
+
+// testMatrix returns n fabricated fingerprints in ascending hex order —
+// the canonical full-matrix index the manifests describe.
+func testMatrix(n int) []sim.Fingerprint {
+	fps := make([]sim.Fingerprint, n)
+	for i := range fps {
+		fps[i] = testFP(i)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].String() < fps[j].String() })
+	return fps
+}
+
+// writeShard fills dir with shard k-of-n's entries of the matrix and its
+// manifest, as a figbench -shard run would.
+func writeShard(t *testing.T, dir string, matrix []sim.Fingerprint, k, n int) {
+	t.Helper()
+	c := New(dir)
+	m := &Manifest{
+		Format: ManifestFormatVersion, Engine: sim.EngineVersion,
+		Scale: "test", Experiments: []string{"test"},
+		Shard: k, NumShards: n,
+	}
+	for i, fp := range matrix {
+		m.Fingerprints = append(m.Fingerprints, fp.String())
+		if ShardOf(i, n) != k {
+			continue
+		}
+		m.Assigned = append(m.Assigned, fp.String())
+		if err := c.Put(fp, testResult(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardOfPartitionsBalanced(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		counts := make([]int, n+1)
+		for i := 0; i < 100; i++ {
+			k := ShardOf(i, n)
+			if k < 1 || k > n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", i, n, k)
+			}
+			counts[k]++
+		}
+		min, max := 100, 0
+		for k := 1; k <= n; k++ {
+			if counts[k] < min {
+				min = counts[k]
+			}
+			if counts[k] > max {
+				max = counts[k]
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d: unbalanced shard sizes %v", n, counts[1:])
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	matrix := testMatrix(6)
+	good := func() *Manifest {
+		m := &Manifest{Format: ManifestFormatVersion, Engine: sim.EngineVersion, Shard: 1, NumShards: 2}
+		for i, fp := range matrix {
+			m.Fingerprints = append(m.Fingerprints, fp.String())
+			if ShardOf(i, 2) == 1 {
+				m.Assigned = append(m.Assigned, fp.String())
+			}
+		}
+		return m
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := map[string]func(*Manifest){
+		"format":          func(m *Manifest) { m.Format = 99 },
+		"engine":          func(m *Manifest) { m.Engine = sim.EngineVersion + 1 },
+		"shard zero":      func(m *Manifest) { m.Shard = 0 },
+		"shard beyond":    func(m *Manifest) { m.Shard = 3 },
+		"unsorted":        func(m *Manifest) { m.Fingerprints[0], m.Fingerprints[1] = m.Fingerprints[1], m.Fingerprints[0] },
+		"assignment size": func(m *Manifest) { m.Assigned = m.Assigned[:1] },
+		"assignment rule": func(m *Manifest) { m.Assigned[0] = m.Fingerprints[1] },
+	}
+	for name, mutate := range cases {
+		m := good()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: invalid manifest accepted", name)
+		}
+	}
+}
+
+// TestMergeRoundTrip is the happy path: two complete shards merge into a
+// directory that serves every run of the matrix without recomputation.
+func TestMergeRoundTrip(t *testing.T) {
+	matrix := testMatrix(9)
+	sh1, sh2, dst := t.TempDir(), t.TempDir(), filepath.Join(t.TempDir(), "merged")
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+
+	rep, err := Merge(dst, []string{sh1, sh2}, false)
+	if err != nil {
+		t.Fatalf("clean merge failed: %v\n%v", err, rep.Problems())
+	}
+	if len(rep.Problems()) != 0 {
+		t.Fatalf("clean merge reported problems: %v", rep.Problems())
+	}
+	if rep.Entries != len(matrix) || rep.Written != len(matrix)+2 || rep.Manifests != 2 {
+		t.Errorf("report %+v: want %d entries, %d written, 2 manifests", rep, len(matrix), len(matrix)+2)
+	}
+	c := New(dst)
+	for i, fp := range matrix {
+		res, ok := c.Get(fp)
+		if !ok {
+			t.Fatalf("merged cache misses %s", fp)
+		}
+		if want := testResult(int64(i)); res.Cycles != want.Cycles {
+			t.Fatalf("merged entry %d holds wrong result", i)
+		}
+	}
+	if ms, err := ReadManifests(dst); err != nil || len(ms) != 2 {
+		t.Fatalf("merged dir manifests = %d, %v; want 2", len(ms), err)
+	}
+}
+
+func TestMergeRefusesMissingShard(t *testing.T) {
+	matrix := testMatrix(8)
+	sh1 := t.TempDir()
+	dst := filepath.Join(t.TempDir(), "merged")
+	writeShard(t, sh1, matrix, 1, 3)
+
+	rep, err := Merge(dst, []string{sh1}, false)
+	if err == nil {
+		t.Fatal("merge with missing shards succeeded")
+	}
+	if want := []int{2, 3}; len(rep.MissingShards) != 2 || rep.MissingShards[0] != want[0] || rep.MissingShards[1] != want[1] {
+		t.Errorf("MissingShards = %v, want %v", rep.MissingShards, want)
+	}
+	if _, statErr := os.Stat(dst); !os.IsNotExist(statErr) {
+		t.Error("refused merge still wrote the destination")
+	}
+
+	// Forced partial merge writes shard 1's slice; the rest stays absent.
+	rep, err = Merge(dst, []string{sh1}, true)
+	if err != nil {
+		t.Fatalf("forced partial merge failed: %v", err)
+	}
+	if rep.Written == 0 {
+		t.Error("forced merge wrote nothing")
+	}
+}
+
+func TestMergeDetectsMissingEntry(t *testing.T) {
+	matrix := testMatrix(8)
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+	// Delete one of shard 2's entries.
+	var victim string
+	for i, fp := range matrix {
+		if ShardOf(i, 2) == 2 {
+			victim = fp.String()
+			break
+		}
+	}
+	if err := os.Remove(filepath.Join(sh2, victim+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Merge(filepath.Join(t.TempDir(), "m"), []string{sh1, sh2}, false)
+	if err == nil {
+		t.Fatal("merge with a missing entry succeeded")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != victim {
+		t.Errorf("Missing = %v, want [%s]", rep.Missing, victim)
+	}
+}
+
+func TestMergeDetectsCorruptEntry(t *testing.T) {
+	matrix := testMatrix(6)
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+	victim := matrix[0].String() // matrix[0] is assigned to shard 1
+	if err := os.WriteFile(filepath.Join(sh1, victim+".json"), []byte(`{"format":1,"truncated`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Merge(filepath.Join(t.TempDir(), "m"), []string{sh1, sh2}, false)
+	if err == nil {
+		t.Fatal("merge with a corrupt entry succeeded")
+	}
+	if len(rep.Corrupt) != 1 {
+		t.Errorf("Corrupt = %v, want one entry", rep.Corrupt)
+	}
+	// The corrupt file also leaves its fingerprint uncovered.
+	if len(rep.Missing) != 1 || rep.Missing[0] != victim {
+		t.Errorf("Missing = %v, want [%s]", rep.Missing, victim)
+	}
+}
+
+// TestMergeDetectsConflict covers byte-level disagreement between two
+// sources for the same fingerprint: refused without force, first source
+// wins with it.
+func TestMergeDetectsConflict(t *testing.T) {
+	matrix := testMatrix(6)
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+	// sh2 also holds matrix[0] (shard 1's entry) with a different result.
+	if err := New(sh2).Put(matrix[0], testResult(999)); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(t.TempDir(), "m")
+	rep, err := Merge(dst, []string{sh1, sh2}, false)
+	if err == nil {
+		t.Fatal("merge with conflicting entries succeeded")
+	}
+	if len(rep.Conflicts) != 1 || rep.Conflicts[0] != matrix[0].String() {
+		t.Errorf("Conflicts = %v, want [%s]", rep.Conflicts, matrix[0])
+	}
+
+	if _, err := Merge(dst, []string{sh1, sh2}, true); err != nil {
+		t.Fatalf("forced merge failed: %v", err)
+	}
+	res, ok := New(dst).Get(matrix[0])
+	if !ok || res.Cycles != testResult(0).Cycles {
+		t.Error("forced merge did not keep the first source's entry")
+	}
+}
+
+func TestMergeDetectsExtraEntry(t *testing.T) {
+	matrix := testMatrix(6)
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+	stray := testFP(1000)
+	if err := New(sh1).Put(stray, testResult(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Merge(filepath.Join(t.TempDir(), "m"), []string{sh1, sh2}, false)
+	if err == nil {
+		t.Fatal("merge with an entry outside the matrix succeeded")
+	}
+	if len(rep.Extra) != 1 || rep.Extra[0] != stray.String() {
+		t.Errorf("Extra = %v, want [%s]", rep.Extra, stray)
+	}
+}
+
+func TestMergeRefusesMismatchedMatrices(t *testing.T) {
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, testMatrix(6), 1, 2)
+	writeShard(t, sh2, testMatrix(8), 2, 2) // different matrix
+
+	rep, err := Merge(filepath.Join(t.TempDir(), "m"), []string{sh1, sh2}, false)
+	if err == nil {
+		t.Fatal("merge across different matrices succeeded")
+	}
+	if len(rep.MismatchedManifests) != 1 {
+		t.Errorf("MismatchedManifests = %v, want one", rep.MismatchedManifests)
+	}
+}
+
+func TestMergeWithoutManifests(t *testing.T) {
+	// Plain cache directories (no figbench -shard involved): the merge
+	// cannot validate coverage, so it refuses without force and does a
+	// simple validated union with it.
+	d1, d2 := t.TempDir(), t.TempDir()
+	fps := testMatrix(4)
+	for i, fp := range fps {
+		dir := d1
+		if i%2 == 1 {
+			dir = d2
+		}
+		if err := New(dir).Put(fp, testResult(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := filepath.Join(t.TempDir(), "m")
+	if _, err := Merge(dst, []string{d1, d2}, false); err == nil {
+		t.Fatal("manifest-less merge succeeded without force")
+	}
+	rep, err := Merge(dst, []string{d1, d2}, true)
+	if err != nil {
+		t.Fatalf("forced union failed: %v", err)
+	}
+	if rep.Written != len(fps) {
+		t.Errorf("union wrote %d files, want %d", rep.Written, len(fps))
+	}
+	c := New(dst)
+	for _, fp := range fps {
+		if _, ok := c.Get(fp); !ok {
+			t.Errorf("union misses %s", fp)
+		}
+	}
+}
+
+// TestMergeValidateWritesNothing pins the -dry-run contract.
+func TestMergeValidateWritesNothing(t *testing.T) {
+	matrix := testMatrix(6)
+	sh1, sh2 := t.TempDir(), t.TempDir()
+	writeShard(t, sh1, matrix, 1, 2)
+	writeShard(t, sh2, matrix, 2, 2)
+	rep, err := Validate([]string{sh1, sh2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems()) != 0 || rep.Entries != len(matrix) || rep.Written != 0 {
+		t.Errorf("validate report %+v: want clean, %d entries, nothing written", rep, len(matrix))
+	}
+}

@@ -1,9 +1,3 @@
-// Package harness regenerates every table and figure of the paper's
-// evaluation (Section 7-9): it runs the required simulation matrix with a
-// worker pool, caches results shared between figures (and, with a
-// persistent cache directory, across processes), and renders the same
-// rows and series the paper reports. cmd/figbench drives it at full
-// scale; bench_test.go drives scaled-down versions.
 package harness
 
 import (
@@ -77,6 +71,14 @@ type Runner struct {
 	// extends across an experiment sequence (figbench all): a figure's
 	// workers inherit the Systems the previous figure's workers released.
 	pools []*systemPool
+
+	// planning switches runAll into job enumeration: submitted
+	// configurations are recorded in plan (deduplicated via planSeen)
+	// and errPlanOnly aborts the calling experiment builder before it
+	// renders anything. EnumerateJobs drives this; see shard.go.
+	planning bool
+	plan     []sim.Config
+	planSeen map[sim.Fingerprint]bool
 }
 
 // NewRunner builds a runner for the scale with an in-memory result cache.
@@ -206,6 +208,16 @@ func (p *systemPool) run(cfg sim.Config) (sim.Result, error) {
 // hiding siblings behind the first error. Completed runs are cached even
 // when a sibling fails, so a retry does not recompute them.
 func (r *Runner) runAll(cfgs []sim.Config) (results, error) {
+	if r.planning {
+		for _, cfg := range cfgs {
+			fp := cfg.Fingerprint()
+			if !r.planSeen[fp] {
+				r.planSeen[fp] = true
+				r.plan = append(r.plan, cfg)
+			}
+		}
+		return nil, errPlanOnly
+	}
 	out := make(results, len(cfgs))
 	var todo []sim.Config
 	var fps []sim.Fingerprint

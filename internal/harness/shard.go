@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/expcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// errPlanOnly aborts an experiment builder after runAll has captured its
+// jobs during enumeration. Builders propagate runAll errors verbatim, so
+// the sentinel unwinds them without executing any simulation or touching
+// any table — the enumeration contract every builder already satisfies by
+// returning on the first runAll error.
+var errPlanOnly = errors.New("harness: plan-only enumeration")
+
+// EnumerateJobs runs the given experiment builders in plan-only mode and
+// returns every distinct simulation job of their combined matrix in
+// ascending fingerprint order — the canonical matrix index that sharding
+// partitions. No simulation runs: each builder's first runAll call
+// records its jobs and aborts the builder. Builders that run no
+// simulations (static tables, the circuit model) contribute no jobs;
+// their output is discarded.
+//
+// The returned order depends only on the set of jobs, not on builder
+// order or per-builder enumeration order, so every shard of a split
+// derives the identical index as long as it is launched with the same
+// experiment set and scale (the manifest records both for verification).
+//
+// Not safe to call concurrently with the builders' normal execution.
+func (r *Runner) EnumerateJobs(builders ...func() (*stats.Table, error)) ([]sim.Config, error) {
+	r.planning = true
+	r.plan = nil
+	r.planSeen = make(map[sim.Fingerprint]bool)
+	defer func() {
+		r.planning = false
+		r.plan = nil
+		r.planSeen = nil
+	}()
+	for _, build := range builders {
+		if _, err := build(); err != nil && !errors.Is(err, errPlanOnly) {
+			return nil, err
+		}
+	}
+	jobs := make([]sim.Config, len(r.plan))
+	copy(jobs, r.plan)
+	SortByFingerprint(jobs)
+	return jobs, nil
+}
+
+// SortByFingerprint puts jobs into canonical ascending fingerprint order,
+// the order the shard assignment rule is defined over.
+func SortByFingerprint(jobs []sim.Config) {
+	fps := make([]sim.Fingerprint, len(jobs))
+	for i, cfg := range jobs {
+		fps[i] = cfg.Fingerprint()
+	}
+	sort.Sort(&byFingerprint{jobs, fps})
+}
+
+type byFingerprint struct {
+	jobs []sim.Config
+	fps  []sim.Fingerprint
+}
+
+func (s *byFingerprint) Len() int { return len(s.jobs) }
+func (s *byFingerprint) Less(i, j int) bool {
+	return bytes.Compare(s.fps[i][:], s.fps[j][:]) < 0
+}
+func (s *byFingerprint) Swap(i, j int) {
+	s.jobs[i], s.jobs[j] = s.jobs[j], s.jobs[i]
+	s.fps[i], s.fps[j] = s.fps[j], s.fps[i]
+}
+
+// ShardJobs returns the subset of a fingerprint-sorted job list assigned
+// to shard k of n (both 1-based; k in 1..n): job i belongs to shard
+// expcache.ShardOf(i, n). Every job lands in exactly one shard and the
+// split is balanced to within one job. jobs must come from EnumerateJobs
+// (or SortByFingerprint): the positional rule is only stable over the
+// canonical order.
+func ShardJobs(jobs []sim.Config, k, n int) []sim.Config {
+	var out []sim.Config
+	for i, cfg := range jobs {
+		if expcache.ShardOf(i, n) == k {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// ParseShard parses a "K/N" shard specification (as figbench's -shard
+// flag takes it), requiring 1 <= K <= N.
+func ParseShard(s string) (k, n int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		k, err = strconv.Atoi(strings.TrimSpace(a))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(b))
+		}
+	}
+	if !ok || err != nil || k < 1 || n < 1 || k > n {
+		return 0, 0, fmt.Errorf("harness: invalid shard %q, want K/N with 1 <= K <= N", s)
+	}
+	return k, n, nil
+}
+
+// RunJobs computes the given configurations through the result cache —
+// the execution half of a shard run: no figure is rendered, the cache
+// directory fills with this shard's entries. Returns the number of
+// distinct jobs (cached or computed).
+func (r *Runner) RunJobs(jobs []sim.Config) (int, error) {
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return 0, err
+	}
+	return len(res), nil
+}
+
+// ShardManifest builds the manifest describing shard k of n over the
+// canonical (fingerprint-sorted) full job index, stamped with the
+// runner's scale and the experiment names the index was enumerated from.
+func (r *Runner) ShardManifest(jobs []sim.Config, k, n int, experiments []string) *expcache.Manifest {
+	m := &expcache.Manifest{
+		Format: expcache.ManifestFormatVersion,
+		Engine: sim.EngineVersion,
+		Scale: fmt.Sprintf("insts=%d apps=%d mixes=%d mc=%d",
+			r.scale.Insts, r.scale.SingleApps, r.scale.MixesPerCategory, r.scale.MCIterations),
+		Experiments:  experiments,
+		Shard:        k,
+		NumShards:    n,
+		Fingerprints: make([]string, len(jobs)),
+	}
+	for i, cfg := range jobs {
+		fp := cfg.Fingerprint().String()
+		m.Fingerprints[i] = fp
+		if expcache.ShardOf(i, n) == k {
+			m.Assigned = append(m.Assigned, fp)
+		}
+	}
+	return m
+}

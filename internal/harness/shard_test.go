@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/expcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// enumerationBuilders is a representative experiment set: overlapping
+// matrices (Table2's Base runs are a subset of Fig7's), multi-preset
+// figures, and config-mutating sweeps.
+func enumerationBuilders(r *Runner) []func() (*stats.Table, error) {
+	return []func() (*stats.Table, error){r.Table2, r.Fig7, r.Fig8, r.Fig14}
+}
+
+// TestEnumerateJobsRunsNothing pins the plan-only contract: enumeration
+// discovers a non-trivial matrix without simulating a single cycle or
+// touching the result cache.
+func TestEnumerateJobsRunsNothing(t *testing.T) {
+	r := NewRunner(QuickScale())
+	jobs, err := r.EnumerateJobs(enumerationBuilders(r)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("enumeration found no jobs")
+	}
+	if r.SimCycles() != 0 {
+		t.Errorf("enumeration simulated %d cycles", r.SimCycles())
+	}
+	if st := r.CacheStats(); st.Hits()+st.Misses+st.Stores != 0 {
+		t.Errorf("enumeration touched the result cache: %+v", st)
+	}
+	// Canonical order: ascending fingerprints, no duplicates.
+	for i := 1; i < len(jobs); i++ {
+		a, b := jobs[i-1].Fingerprint().String(), jobs[i].Fingerprint().String()
+		if a >= b {
+			t.Fatalf("jobs not in strict fingerprint order at %d: %s >= %s", i, a, b)
+		}
+	}
+}
+
+// TestEnumerateJobsStableAcrossOrder: the canonical index must not
+// depend on the order experiments are enumerated in.
+func TestEnumerateJobsStableAcrossOrder(t *testing.T) {
+	r := NewRunner(QuickScale())
+	forward, err := r.EnumerateJobs(enumerationBuilders(r)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := enumerationBuilders(r)
+	for i, j := 0, len(bs)-1; i < j; i, j = i+1, j-1 {
+		bs[i], bs[j] = bs[j], bs[i]
+	}
+	backward, err := r.EnumerateJobs(bs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forward) != len(backward) {
+		t.Fatalf("enumeration order changed the matrix size: %d vs %d", len(forward), len(backward))
+	}
+	for i := range forward {
+		if forward[i].Fingerprint() != backward[i].Fingerprint() {
+			t.Fatalf("enumeration order changed the canonical index at %d", i)
+		}
+	}
+}
+
+// TestShardPartitionExhaustive: for every split width, the K slices
+// cover the canonical index exactly once — no job lost, none duplicated
+// — and stay balanced to within one job.
+func TestShardPartitionExhaustive(t *testing.T) {
+	r := NewRunner(QuickScale())
+	jobs, err := r.EnumerateJobs(enumerationBuilders(r)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		seen := make(map[sim.Fingerprint]int)
+		minSize, maxSize := len(jobs), 0
+		for k := 1; k <= n; k++ {
+			slice := ShardJobs(jobs, k, n)
+			if len(slice) < minSize {
+				minSize = len(slice)
+			}
+			if len(slice) > maxSize {
+				maxSize = len(slice)
+			}
+			for _, cfg := range slice {
+				seen[cfg.Fingerprint()]++
+			}
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("n=%d: shards cover %d of %d jobs", n, len(seen), len(jobs))
+		}
+		for fp, count := range seen {
+			if count != 1 {
+				t.Fatalf("n=%d: job %s assigned to %d shards", n, fp, count)
+			}
+		}
+		if maxSize-minSize > 1 {
+			t.Errorf("n=%d: unbalanced shards (%d..%d jobs)", n, minSize, maxSize)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		k, n int
+		ok   bool
+	}{
+		{"1/1", 1, 1, true},
+		{"2/3", 2, 3, true},
+		{" 4 / 8 ", 4, 8, true},
+		{"0/3", 0, 0, false},
+		{"4/3", 0, 0, false},
+		{"-1/3", 0, 0, false},
+		{"2", 0, 0, false},
+		{"a/b", 0, 0, false},
+		{"", 0, 0, false},
+	} {
+		k, n, err := ParseShard(tc.in)
+		if (err == nil) != tc.ok || k != tc.k || n != tc.n {
+			t.Errorf("ParseShard(%q) = %d, %d, %v; want %d, %d, ok=%v", tc.in, k, n, err, tc.k, tc.n, tc.ok)
+		}
+	}
+}
+
+// TestShardedRunsReassemble is the in-process version of CI's shard-merge
+// job: two shards computed into separate cache directories, merged, and
+// the merged directory must serve an unsharded rerun without a single
+// recomputation, rendering identical tables to a from-scratch run.
+func TestShardedRunsReassemble(t *testing.T) {
+	scale := Scale{Insts: 20_000, SingleApps: 2, MixesPerCategory: 1, MCIterations: 200}
+	builders := func(r *Runner) []func() (*stats.Table, error) {
+		return []func() (*stats.Table, error){r.Table2, r.Fig7}
+	}
+	names := []string{"table2", "fig7"}
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for k := 1; k <= 2; k++ {
+		cache := expcache.New(dirs[k-1])
+		r := NewRunnerWithCache(scale, cache, false)
+		jobs, err := r.EnumerateJobs(builders(r)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine := ShardJobs(jobs, k, 2)
+		if got, err := r.RunJobs(mine); err != nil || got != len(mine) {
+			t.Fatalf("shard %d: ran %d of %d jobs, err=%v", k, got, len(mine), err)
+		}
+		if err := cache.WriteManifest(r.ShardManifest(jobs, k, 2, names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := t.TempDir()
+	rep, err := expcache.Merge(merged, dirs, false)
+	if err != nil {
+		t.Fatalf("merge: %v\n%v", err, rep.Problems())
+	}
+
+	render := func(r *Runner) string {
+		var out string
+		for _, build := range builders(r) {
+			tab, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += tab.Render() + "\n"
+		}
+		return out
+	}
+	warm := NewRunnerWithCache(scale, expcache.New(merged), false)
+	warmTables := render(warm)
+	if st := warm.CacheStats(); st.Misses != 0 || st.Stores != 0 {
+		t.Errorf("warm run against merged dir recomputed: misses=%d computed=%d", st.Misses, st.Stores)
+	}
+	if warm.SimCycles() != 0 {
+		t.Errorf("warm run simulated %d cycles", warm.SimCycles())
+	}
+	scratch := NewRunner(scale)
+	if scratchTables := render(scratch); scratchTables != warmTables {
+		t.Error("merged-cache tables differ from a from-scratch run")
+	}
+}

@@ -1,9 +1,3 @@
-// Package memctrl implements the memory controller: per-channel read and
-// write request queues, FR-FCFS command scheduling, the DDR4 address
-// interleaving from Table 1 of the FIGARO paper, write draining and
-// refresh management, plus the hook through which an in-DRAM cache
-// (FIGCache or LISA-VILLA, in internal/core) redirects requests and
-// triggers in-DRAM relocations.
 package memctrl
 
 import (

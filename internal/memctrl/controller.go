@@ -111,11 +111,11 @@ type Controller struct {
 	// burst whose next block is still working its way down the cache
 	// hierarchy.
 	lastColumn []int64
-	// claimed is scratch space for the FR-FCFS pass-2 bank ownership
-	// scan: claimed[bank] == claimGen marks the bank owned this scan, so
-	// the mark array needs neither per-tick allocation nor clearing.
-	claimed  []int64
-	claimGen int64
+	// cands is scratch space for the FR-FCFS pass-1 arbitration: one
+	// column-command candidate per open bank (the bank's oldest request
+	// matching the open row, plus its bucket index). At most one entry
+	// per bank, reused across ticks without allocating.
+	cands []colCand
 	// lastTick is the bus cycle of the previous Tick call, used to credit
 	// the write-drain diagnostic for ticks a cycle-skipping caller
 	// elided; -1 before the first tick.
@@ -155,11 +155,11 @@ func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Contr
 		cfg:           cfg,
 		channel:       ch,
 		cache:         cache,
-		readQ:         newQueue(cfg.ReadQueueDepth),
-		writeQ:        newQueue(cfg.WriteQueueDepth),
+		readQ:         newQueue(cfg.ReadQueueDepth, ch.NumBanks()),
+		writeQ:        newQueue(cfg.WriteQueueDepth, ch.NumBanks()),
 		pendingRelocs: make([][]*RelocPlan, ch.NumBanks()),
 		lastColumn:    make([]int64, ch.NumBanks()),
-		claimed:       make([]int64, ch.NumBanks()),
+		cands:         make([]colCand, 0, ch.NumBanks()),
 		lastTick:      -1,
 		// Seed by controller ID so per-channel reservoirs differ but any
 		// two runs of the same configuration sample identically.
@@ -191,9 +191,7 @@ func (c *Controller) Reset(cfg Config, cache CacheHook) {
 	c.relocBanks = 0
 	for i := range c.lastColumn {
 		c.lastColumn[i] = 0
-		c.claimed[i] = 0
 	}
-	c.claimGen = 0
 	c.lastTick = -1
 	c.NumReads, c.NumWrites = 0, 0
 	c.CacheHits, c.CacheMisses = 0, 0
@@ -460,9 +458,42 @@ func (c *Controller) flushIdleRelocs(now int64) (flushed bool, nextAt int64) {
 	return false, nextAt
 }
 
+// colCand is one bank's pass-1 column candidate: the bank's oldest
+// request matching its open row, and that request's bucket index.
+type colCand struct {
+	r   *Request
+	idx int
+}
+
 // schedule implements FR-FCFS over queue q: first any request whose column
 // command is ready on an open row (oldest first), then the oldest request,
 // for which it issues the next command of the ACT/PRE sequence.
+//
+// Both passes run over the queue's per-bank buckets, so the work per tick
+// is bounded by the number of banks with queued work, not the queue depth
+// (the lever behind deep write-queue drains). The bucket walk is exactly
+// equivalent to the former whole-queue age-order scan:
+//
+//   - Pass 1: only a bank with an open row can serve a column command,
+//     and within one bank every request matching the open row builds the
+//     identical command (same rank/group/bank/row, same type — the queue
+//     is all-reads or all-writes), so they share one CanIssue answer.
+//     The oldest match per open bank therefore stands in for all of
+//     them, and trying those candidates oldest-first until one is
+//     issuable reproduces the age-order scan's choice (and its CanIssue
+//     call order, minus same-bank duplicates). Arbitration is
+//     incremental: occupied is head-age ordered, and every candidate a
+//     later bank can contribute is younger than that bank's head, so a
+//     pending candidate older than the current bank's head is final —
+//     it is tried (and usually issues) without visiting the remaining
+//     banks, preserving the age scan's early exit.
+//
+//   - Pass 2 only ever acted on the oldest request per bank (younger
+//     requests to a claimed bank were skipped: they must not precharge a
+//     row an older request is still waiting on). The bucket heads are
+//     those oldest-per-bank requests, and occupied's head-age order is
+//     the order the old scan claimed banks in, so a direct front-to-back
+//     iteration visits them identically.
 //
 // When nothing is issuable this tick, nextAt is the earliest bus cycle at
 // which any considered command becomes issuable. The DRAM timing windows
@@ -470,38 +501,69 @@ func (c *Controller) flushIdleRelocs(now int64) (flushed bool, nextAt int64) {
 // enqueue — the run loop can skip the idle ticks in between.
 func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) (issued bool, nextAt int64) {
 	nextAt = math.MaxInt64
-	// Pass 1: row hits — column command ready now. A request whose bank
-	// has a different (or no) row open cannot issue a column command at
-	// any time (CanIssue reports it structurally impossible), so the
-	// scan only prices out requests on currently open rows.
-	for i := 0; i < len(q.items); i++ {
-		r := q.items[i]
-		if !r.bank.IsOpen(r.ServiceLoc.CacheRow, r.ServiceLoc.Row) {
-			continue
-		}
-		cmd := c.columnCmd(r)
-		if at, ok := c.channel.CanIssue(cmd, now); ok {
+	// Pass 1: row hits — column command ready now. Closed banks are
+	// skipped whole; an open bank's bucket is scanned only up to its
+	// oldest request matching the open row.
+	cands := c.cands[:0]
+	ci := 0 // arbitration cursor: cands[ci:] are pending, seq-ordered
+	tryCand := func(cc colCand) bool {
+		if at, ok := c.channel.CanIssue(c.columnCmd(cc.r), now); ok {
 			if at <= now {
-				c.issueColumn(q, i, r, now, schedule)
-				return true, now + 1
+				c.issueColumn(q, cc.idx, cc.r, now, schedule)
+				return true
 			}
 			if at < nextAt {
 				nextAt = at
 			}
 		}
+		return false
+	}
+	for k, h := range q.heads {
+		// Pending candidates older than this bank's head cannot be
+		// displaced by this or any later bank: arbitrate them now.
+		for ci < len(cands) && cands[ci].r.seq < h.seq {
+			cc := cands[ci]
+			ci++
+			if tryCand(cc) {
+				return true, now + 1
+			}
+		}
+		var cand colCand
+		if h.bank.IsOpen(h.ServiceLoc.CacheRow, h.ServiceLoc.Row) {
+			cand = colCand{h, 0}
+		} else {
+			row, cacheRow := h.bank.Open()
+			if row == -1 {
+				continue
+			}
+			// Head misses the open row; find the bank's oldest match.
+			bucket := q.byBank[q.occupied[k]]
+			for i := 1; i < len(bucket); i++ {
+				if r := bucket[i]; r.ServiceLoc.Row == row && r.ServiceLoc.CacheRow == cacheRow {
+					cand = colCand{r, i}
+					break
+				}
+			}
+			if cand.r == nil {
+				continue
+			}
+		}
+		// Keep the pending window seq-ordered; candidates arrive nearly
+		// ordered (head order), so the bubble is rare.
+		cands = append(cands, cand)
+		for j := len(cands) - 1; j > ci && cands[j-1].r.seq > cands[j].r.seq; j-- {
+			cands[j-1], cands[j] = cands[j], cands[j-1]
+		}
+	}
+	for ; ci < len(cands); ci++ {
+		if tryCand(cands[ci]) {
+			return true, now + 1
+		}
 	}
 	// Pass 2: oldest request first, issue ACT or PRE as needed. Each bank
-	// belongs to the oldest request targeting it: younger requests must
-	// not precharge a row an older request is still waiting on. The
-	// claim marks are generation-stamped so no per-tick clearing pass is
-	// needed.
-	c.claimGen++
-	for _, r := range q.items {
-		bankID := r.bankID
-		if c.claimed[bankID] == c.claimGen {
-			continue
-		}
-		c.claimed[bankID] = c.claimGen
+	// belongs to the oldest request targeting it — its bucket head;
+	// heads is already in age order.
+	for _, r := range q.heads {
 		bank := r.bank
 		row, cacheRow := bank.Open()
 		if row == r.ServiceLoc.Row && cacheRow == r.ServiceLoc.CacheRow {
@@ -552,9 +614,9 @@ func (c *Controller) columnCmd(r *Request) dram.Command {
 	return dram.Command{Type: t, Loc: r.ServiceLoc}
 }
 
-// issueColumn issues the RD/WR for q.items[i], retires the request, and
-// triggers cache insertion for read misses (the relocation runs while the
-// just-accessed source row is still open).
+// issueColumn issues the RD/WR for the i-th request of its bank's bucket,
+// retires the request, and triggers cache insertion for read misses (the
+// relocation runs while the just-accessed source row is still open).
 func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, fn func(int64))) {
 	r.bank.RowHits++
 	c.lastColumn[r.bankID] = now
@@ -569,7 +631,7 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 	if r.OnComplete != nil {
 		schedule(end, r.OnComplete)
 	}
-	q.remove(i)
+	q.remove(r.bankID, i)
 
 	// Cache insertion on miss: the source row is open in its local row
 	// buffer, so the relocation skips the first ACTIVATE (Section 8.1).

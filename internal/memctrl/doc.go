@@ -1,0 +1,27 @@
+// Package memctrl implements the memory controller: per-channel read and
+// write request queues, FR-FCFS command scheduling, the DDR4 address
+// interleaving from Table 1 of the FIGARO paper, write draining and
+// refresh management, plus the hook through which an in-DRAM cache
+// (FIGCache or LISA-VILLA, in internal/core) redirects requests and
+// triggers in-DRAM relocations.
+//
+// The controller is the layer between the cache hierarchy and the DRAM
+// device model: LLC misses and write-backs enter through Enqueue, and
+// each Tick issues at most one DRAM command chosen by FR-FCFS (column
+// commands to open rows first, then the oldest request's ACT/PRE
+// sequence). Cache-insertion relocations are deferred until the source
+// row is about to close (Section 8.1), so they never steal row hits from
+// queued requests.
+//
+// Two properties matter to the layers above:
+//
+//   - Tick returns a next-work probe — a lower bound on the next bus
+//     cycle the controller could change state — which is what lets the
+//     cycle-skipping engine in internal/sim jump over idle bus cycles.
+//
+//   - Scheduling work per tick is bounded by the number of banks with
+//     queued work, not the queue depth: the queues bucket requests per
+//     bank and incrementally maintain the oldest request of each bank
+//     in age order, so deep write-queue drains cost the same per issued
+//     command as shallow queues (see queue in request.go).
+package memctrl

@@ -385,6 +385,95 @@ func TestPropertyAllReadsComplete(t *testing.T) {
 	}
 }
 
+// TestQueueHeadIndexInvariants pins the queue's incrementally maintained
+// oldest-per-bank index (the structure that bounds FR-FCFS scans by bank
+// count instead of queue depth): after any sequence of pushes and
+// removals, occupied must list exactly the non-empty banks in strictly
+// ascending head-age order, heads must mirror their bucket heads, and pos
+// must invert occupied.
+func TestQueueHeadIndexInvariants(t *testing.T) {
+	const banks = 8
+	q := newQueue(64, banks)
+	rng := rand.New(rand.NewSource(11))
+	check := func(step int) {
+		t.Helper()
+		total := 0
+		for b := 0; b < banks; b++ {
+			n := len(q.byBank[b])
+			total += n
+			if n == 0 {
+				if q.pos[b] != -1 {
+					t.Fatalf("step %d: empty bank %d has pos %d", step, b, q.pos[b])
+				}
+				continue
+			}
+			idx := q.pos[b]
+			if idx < 0 || idx >= len(q.occupied) || q.occupied[idx] != b {
+				t.Fatalf("step %d: bank %d pos %d does not invert occupied %v", step, b, idx, q.occupied)
+			}
+			if q.heads[idx] != q.byBank[b][0] {
+				t.Fatalf("step %d: heads[%d] is not bank %d's bucket head", step, idx, b)
+			}
+			for i := 1; i < n; i++ {
+				if q.byBank[b][i-1].seq >= q.byBank[b][i].seq {
+					t.Fatalf("step %d: bank %d bucket not age-ordered", step, b)
+				}
+			}
+		}
+		if total != q.count {
+			t.Fatalf("step %d: count %d, buckets hold %d", step, q.count, total)
+		}
+		if len(q.occupied) != len(q.heads) {
+			t.Fatalf("step %d: occupied/heads length mismatch", step)
+		}
+		for i := 1; i < len(q.heads); i++ {
+			if q.heads[i-1].seq >= q.heads[i].seq {
+				t.Fatalf("step %d: occupied not in head-age order: %v", step, q.occupied)
+			}
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		if q.count == 0 || (!q.full() && rng.Intn(2) == 0) {
+			r := &Request{bankID: rng.Intn(banks)}
+			q.push(r)
+		} else {
+			b := q.occupied[rng.Intn(len(q.occupied))]
+			q.remove(b, rng.Intn(len(q.byBank[b])))
+		}
+		check(step)
+	}
+	q.reset(64)
+	check(-1)
+	if q.count != 0 || len(q.occupied) != 0 || len(q.heads) != 0 {
+		t.Fatal("reset left queue state behind")
+	}
+}
+
+// TestWriteDrainFRFCFSOrder pins the drain scheduling order across banks:
+// with symmetric writes queued to two closed banks, the controller must
+// serve the oldest request's bank first, and a same-bank row hit must not
+// overtake an older request to another open bank (FR-FCFS arbitration is
+// by request age among issuable candidates).
+func TestWriteDrainFRFCFSOrder(t *testing.T) {
+	c := newTestController(t, nil)
+	var order []int
+	mk := func(id, bank, row, block int) *Request {
+		return &Request{IsWrite: true,
+			Loc:        dram.Location{Bank: bank, Row: row, Block: block},
+			OnComplete: func(int64) { order = append(order, id) }}
+	}
+	// W0 -> bank0/row1, W1 -> bank1/row1, W2 -> bank0/row1 (row hit once
+	// bank0 is open). Oldest-first: W0, then W1 (older than the bank0 row
+	// hit W2), then W2.
+	c.Enqueue(mk(0, 0, 1, 0), 0)
+	c.Enqueue(mk(1, 1, 1, 0), 0)
+	c.Enqueue(mk(2, 0, 1, 1), 0)
+	runUntil(c, 2000, func() bool { return len(order) == 3 })
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("drain order = %v, want [0 1 2] (oldest issuable first)", order)
+	}
+}
+
 // TestReadLatencyPercentiles drives reads through a controller and checks
 // the reservoir-backed percentile accessor: samples are recorded, the
 // percentiles are ordered, and they bracket the mean.

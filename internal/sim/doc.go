@@ -1,0 +1,31 @@
+// Package sim assembles and runs the full simulated system of the FIGARO
+// paper: trace-driven cores (internal/cpu), the SRAM hierarchy
+// (internal/cache), per-channel memory controllers (internal/memctrl)
+// over the DDR4 device model (internal/dram), and the in-DRAM cache
+// configurations of Section 8 (Base, LISA-VILLA, FIGCache-Slow,
+// FIGCache-Fast, FIGCache-Ideal, LL-DRAM). It runs the whole system on
+// one CPU-cycle clock (3.2 GHz) with the DRAM bus ticking every fourth
+// cycle (800 MHz).
+//
+// The package is the repository's layer between the hardware models
+// below it and the experiment machinery above it. Three contracts define
+// that seam (ARCHITECTURE.md describes each in depth):
+//
+//   - Engine equivalence. System.Run normally uses a cycle-skipping,
+//     batching engine; the dense cycle-by-cycle reference loop is kept
+//     behind Config.DenseLoop, and TestEngineEquivalence enforces that
+//     both produce bit-identical Results. Any timing-model change must
+//     keep that test green.
+//
+//   - Run identity. Config.Fingerprint() is the canonical identity of a
+//     run: a SHA-256 over the normalized configuration plus
+//     EngineVersion. Equal fingerprints imply bit-identical Results, the
+//     property the harness's result caching, cross-process persistence
+//     (internal/expcache), and cross-machine sharding all build on. Bump
+//     EngineVersion with any change that can alter what a run produces.
+//
+//   - System reuse. System.Reset retargets a built System to any
+//     same-shape configuration (Config.ShapeKey), reusing its long-lived
+//     allocations; a Reset-reused System must remain bit-identical to a
+//     freshly constructed one (also enforced by TestEngineEquivalence).
+package sim

@@ -1,10 +1,3 @@
-// Package sim assembles the full simulated system of the FIGARO paper:
-// trace-driven cores (internal/cpu), the SRAM hierarchy (internal/cache),
-// per-channel memory controllers (internal/memctrl) over the DDR4 device
-// model (internal/dram), and the in-DRAM cache configurations of Section 8
-// (Base, LISA-VILLA, FIGCache-Slow, FIGCache-Fast, FIGCache-Ideal,
-// LL-DRAM). It runs the whole system on one CPU-cycle clock (3.2 GHz) with
-// the DRAM bus ticking every fourth cycle (800 MHz).
 package sim
 
 // event is a deferred callback in CPU-cycle time.

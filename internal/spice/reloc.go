@@ -1,14 +1,3 @@
-// Package spice provides analytic circuit-level models standing in for
-// the paper's SPICE methodology (Section 4.2): the RELOC charge-sharing
-// and sense-amplification transient that determines the RELOC latency
-// (Figure 5), with Monte-Carlo parameter variation and worst-case
-// reporting, plus the area/storage overhead calculations of Section 8.3.
-//
-// The model is a first-order RC + regenerative-latch approximation rather
-// than transistor-level SPICE. It is calibrated so the nominal transient
-// reproduces the paper's observations: the destination bitlines settle in
-// well under 1 ns, the worst Monte-Carlo corner is ~0.57 ns, and a 43%
-// guardband yields the 1 ns RELOC timing parameter.
 package spice
 
 import (

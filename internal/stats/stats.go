@@ -1,6 +1,3 @@
-// Package stats provides the small numeric and formatting helpers the
-// evaluation harness uses: means, geometric means, speedups, and plain
-// text tables that mirror the rows/series of the paper's figures.
 package stats
 
 import (
