@@ -148,7 +148,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "mcf", Apps: workload.Sources(spec)}
 	b.ResetTimer()
 	var insts, cycles int64
 	for i := 0; i < b.N; i++ {
@@ -177,7 +177,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "mcf", Apps: workload.Sources(spec)}
 	for _, eng := range []struct {
 		name  string
 		dense bool

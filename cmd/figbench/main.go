@@ -9,7 +9,13 @@
 //	figbench -cache-dir .figcache fig8 fig10
 //
 // Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 sec42 sec83 multithreaded
+// fig14 fig15 sec42 sec83 multithreaded ablation custom
+//
+// The custom experiment runs user-supplied workloads — anything figsim's
+// -workload flag accepts, including recorded traces — through the exact
+// pipeline that renders the paper's figures:
+//
+//	figbench -workload trace:mcf.trc,mix-100-0 custom
 //
 // The instruction budget trades fidelity for runtime; the shipped default
 // reproduces the paper's qualitative shapes in minutes on one machine.
@@ -35,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/expcache"
@@ -55,6 +62,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty = in-memory only)")
 	force := flag.Bool("force", false, "recompute cached runs and rewrite the persistent cache")
 	shard := flag.String("shard", "", "compute only slice K/N of the experiment matrix into -cache-dir (no tables are rendered; merge shards with figmerge)")
+	customWl := flag.String("workload", "", "comma-separated workloads for the custom experiment (benchmarks, mixes, mt-<app>, trace:FILE)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -89,13 +97,24 @@ func main() {
 		{"sec83", r.Sec83},
 		{"multithreaded", r.Multithreaded},
 		{"ablation", r.Ablations},
+		{"custom", func() (*stats.Table, error) {
+			ws, err := harness.ParseCustomWorkloads(splitList(*customWl))
+			if err != nil {
+				return nil, err
+			}
+			return r.Custom(ws)
+		}},
 	}
 
 	want := make(map[string]bool)
 	for _, a := range args {
 		if a == "all" {
+			// "all" is the paper's matrix; custom needs -workload input
+			// and is only run when named explicitly.
 			for _, e := range catalog {
-				want[e.name] = true
+				if e.name != "custom" {
+					want[e.name] = true
+				}
 			}
 			continue
 		}
@@ -111,6 +130,13 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
+	}
+
+	if *customWl != "" && !want["custom"] {
+		// -workload only feeds the custom experiment; silently ignoring it
+		// would run the stock matrix and never touch the user's workloads.
+		fmt.Fprintln(os.Stderr, "figbench: -workload is set but the custom experiment was not selected (name it explicitly: figbench -workload ... custom)")
+		os.Exit(2)
 	}
 
 	if *shard != "" {
@@ -187,8 +213,20 @@ func main() {
 	fmt.Println()
 }
 
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: figbench [flags] <experiment>...
-experiments: all table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 sec42 sec83 multithreaded ablation`)
+experiments: all table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 sec42 sec83 multithreaded ablation custom
+(custom runs the workloads named by -workload, e.g. -workload trace:mcf.trc,mix-100-0 custom)`)
 	flag.PrintDefaults()
 }

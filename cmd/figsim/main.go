@@ -1,10 +1,15 @@
 // Command figsim runs one simulated system configuration on one workload
 // and prints its statistics: the quickest way to inspect a single run.
+// Workloads are anything the workload package resolves: Table-2
+// benchmarks, eight-core mixes, multithreaded applications, or recorded
+// binary traces ("trace:FILE", see tracegen -o). Trace replay is
+// deterministic — two runs of the same trace print identical statistics.
 //
 // Usage:
 //
 //	figsim -preset FIGCache-Fast -workload mcf -insts 400000
 //	figsim -preset Base -workload mix-100-0 -insts 200000
+//	figsim -preset FIGCache-Fast -workload trace:mcf.trc
 //	figsim -list
 package main
 
@@ -24,7 +29,7 @@ func main() {
 	preset := flag.String("preset", "FIGCache-Fast",
 		"configuration: Base, LISA-VILLA, FIGCache-Slow, FIGCache-Fast, FIGCache-Ideal, LL-DRAM")
 	wl := flag.String("workload", "mcf",
-		"benchmark name (single-core), mix name like mix-100-0 (eight-core), or mt-<app> (multithreaded)")
+		"benchmark name (single-core), mix name like mix-100-0 (eight-core), mt-<app> (multithreaded), or trace:FILE (recorded trace)")
 	insts := flag.Int64("insts", 400_000, "per-core instruction target")
 	seed := flag.Uint64("seed", 1, "trace generation seed")
 	list := flag.Bool("list", false, "list available presets and workloads, then exit")
@@ -92,24 +97,19 @@ func parsePreset(name string) (sim.Preset, error) {
 	return 0, fmt.Errorf("unknown preset %q (try -list)", name)
 }
 
+// findWorkload resolves the -workload argument; an unknown name gets a
+// closest-match suggestion so a typo'd mix name is a one-glance fix.
 func findWorkload(name string) (workload.Mix, bool, error) {
-	if strings.HasPrefix(name, "mt-") {
-		for _, m := range workload.MultithreadedWorkloads() {
-			if m.Name == strings.TrimPrefix(name, "mt-") {
-				return m, true, nil
-			}
-		}
-		return workload.Mix{}, false, fmt.Errorf("unknown multithreaded workload %q", name)
+	mix, shared, err := workload.FindMix(name)
+	if err == nil {
+		return mix, shared, nil
 	}
-	for _, m := range workload.EightCoreMixes() {
-		if m.Name == name {
-			return m, false, nil
+	if !strings.HasPrefix(name, "trace:") {
+		if s := workload.Suggest(name, workload.MixNames()); s != "" {
+			return workload.Mix{}, false, fmt.Errorf("unknown workload %q — did you mean %q? (try -list)", name, s)
 		}
 	}
-	if spec, err := workload.ByName(name); err == nil {
-		return workload.Mix{Name: name, Apps: []workload.BenchSpec{spec}}, false, nil
-	}
-	return workload.Mix{}, false, fmt.Errorf("unknown workload %q (try -list)", name)
+	return workload.Mix{}, false, fmt.Errorf("%v (try -list)", err)
 }
 
 func printCatalog() {
@@ -133,6 +133,8 @@ func printCatalog() {
 	for _, m := range workload.MultithreadedWorkloads() {
 		fmt.Printf("  mt-%s\n", m.Name)
 	}
+	fmt.Println("recorded traces:")
+	fmt.Println("  trace:FILE    replay a binary trace recorded with tracegen -o FILE")
 }
 
 func printResult(cfg sim.Config, res sim.Result) {

@@ -1,0 +1,162 @@
+package repro_bench
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandsSmoke builds the cmd/* binaries and drives their
+// user-facing contracts end to end: catalog listing, workload stats,
+// input validation, the record→replay loop (byte-identical statistics on
+// a second replay — the determinism promise the trace format makes), the
+// text↔binary round trip, and figmerge's refuse-by-default validation.
+// Before this test the commands were compiled but never executed by the
+// test suite.
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command execution in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+
+	binDir := t.TempDir()
+	build := exec.Command(goBin, "build", "-o", binDir, "./cmd/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building commands: %v\n%s", err, out)
+	}
+	workDir := t.TempDir()
+
+	// run executes a built binary and returns its combined output; the
+	// returned error is nil iff the binary exited zero.
+	run := func(t *testing.T, name string, args ...string) (string, error) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		cmd := exec.CommandContext(ctx, filepath.Join(binDir, name), args...)
+		cmd.Dir = workDir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	mustRun := func(t *testing.T, name string, args ...string) string {
+		t.Helper()
+		out, err := run(t, name, args...)
+		if err != nil {
+			t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+		}
+		return out
+	}
+
+	t.Run("figsim-list", func(t *testing.T) {
+		t.Parallel()
+		out := mustRun(t, "figsim", "-list")
+		for _, want := range []string{"presets:", "FIGCache-Fast", "mix-100-0", "mt-canneal", "trace:FILE"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("figsim -list missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("figsim-did-you-mean", func(t *testing.T) {
+		t.Parallel()
+		out, err := run(t, "figsim", "-workload", "mix-100-O", "-insts", "1000")
+		if err == nil {
+			t.Fatal("figsim accepted a typo'd workload")
+		}
+		if !strings.Contains(out, `did you mean "mix-100-0"`) {
+			t.Errorf("no suggestion for typo'd mix name:\n%s", out)
+		}
+	})
+
+	t.Run("tracegen-stats", func(t *testing.T) {
+		t.Parallel()
+		out := mustRun(t, "tracegen", "-bench", "mcf", "-n", "5000", "-stats")
+		for _, want := range []string{"benchmark:", "mcf", "write fraction:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("tracegen -stats missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("tracegen-rejects-bad-input", func(t *testing.T) {
+		t.Parallel()
+		for _, args := range [][]string{
+			{"-n", "0"},
+			{"-n", "-5"},
+			{"-no-such-flag"},
+			{"unexpected-positional"},
+			{"-bench", "nosuch"},
+			{"-stats", "-o", "conflict.trc"},
+			{"-base", "4096", "-o", "rebased.trc"},
+		} {
+			out, err := run(t, "tracegen", args...)
+			if err == nil {
+				t.Errorf("tracegen %v exited zero:\n%s", args, out)
+			}
+		}
+		// Validation failures must explain themselves.
+		out, _ := run(t, "tracegen", "-n", "0")
+		if !strings.Contains(out, "usage:") || !strings.Contains(out, "-n must be positive") {
+			t.Errorf("tracegen -n 0 printed no usage message:\n%s", out)
+		}
+	})
+
+	t.Run("record-replay-deterministic", func(t *testing.T) {
+		t.Parallel()
+		trc := filepath.Join(workDir, "smoke-mcf.trc")
+		mustRun(t, "tracegen", "-bench", "mcf", "-n", "20000", "-o", trc)
+		args := []string{"-preset", "FIGCache-Fast", "-workload", "trace:" + trc, "-insts", "10000"}
+		first := mustRun(t, "figsim", args...)
+		second := mustRun(t, "figsim", args...)
+		if first != second {
+			t.Errorf("two replays of one trace printed different statistics:\n--- first\n%s\n--- second\n%s", first, second)
+		}
+		if !strings.Contains(first, "trace:") {
+			t.Errorf("replay output does not name the trace workload:\n%s", first)
+		}
+	})
+
+	t.Run("text-binary-round-trip", func(t *testing.T) {
+		t.Parallel()
+		trc := filepath.Join(workDir, "smoke-rt.trc")
+		text := mustRun(t, "tracegen", "-bench", "gcc", "-n", "2000", "-seed", "7")
+		mustRun(t, "tracegen", "-bench", "gcc", "-n", "2000", "-seed", "7", "-o", trc)
+		dump := mustRun(t, "tracegen", "-dump", trc)
+		if !bytes.Equal([]byte(text), []byte(dump)) {
+			t.Error("text output and binary dump of the same generation differ")
+		}
+	})
+
+	t.Run("figbench-workload-needs-custom", func(t *testing.T) {
+		t.Parallel()
+		out, err := run(t, "figbench", "-workload", "trace:whatever.trc", "table1")
+		if err == nil {
+			t.Fatalf("figbench silently ignored -workload without the custom experiment:\n%s", out)
+		}
+		if !strings.Contains(out, "custom") {
+			t.Errorf("refusal does not point at the custom experiment:\n%s", out)
+		}
+	})
+
+	t.Run("figmerge-dry-run-refusal", func(t *testing.T) {
+		t.Parallel()
+		empty := filepath.Join(workDir, "empty-cache")
+		if err := os.MkdirAll(empty, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := run(t, "figmerge", "-dry-run", empty)
+		if err == nil {
+			t.Fatalf("figmerge -dry-run validated an empty cache directory:\n%s", out)
+		}
+		if !strings.Contains(out, "problem:") {
+			t.Errorf("refusal did not report its problems:\n%s", out)
+		}
+	})
+}

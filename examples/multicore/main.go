@@ -33,7 +33,7 @@ func main() {
 	}
 	fmt.Printf("mix %s:", mix.Name)
 	for _, a := range mix.Apps {
-		fmt.Printf(" %s", a.Name)
+		fmt.Printf(" %s", a.Name())
 	}
 	fmt.Println()
 

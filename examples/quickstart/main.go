@@ -73,7 +73,7 @@ func systemDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "mcf", Apps: workload.Sources(spec)}
 
 	run := func(p sim.Preset) sim.Result {
 		cfg := sim.DefaultConfig(p, mix)

@@ -36,7 +36,7 @@ func testFingerprint(seed uint64) sim.Fingerprint {
 	if err != nil {
 		panic(err)
 	}
-	cfg := sim.DefaultConfig(sim.FIGCacheFast, workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}})
+	cfg := sim.DefaultConfig(sim.FIGCacheFast, workload.Mix{Name: "mcf", Apps: workload.Sources(spec)})
 	cfg.Seed = seed
 	return cfg.Fingerprint()
 }

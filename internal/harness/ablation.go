@@ -84,7 +84,7 @@ func (r *Runner) Ablations() (*stats.Table, error) {
 	}
 	var nonInt, intens []workload.Mix
 	for _, m := range singles {
-		if m.Apps[0].MemIntensive {
+		if m.Apps[0].MemIntensive() {
 			intens = append(intens, m)
 		} else {
 			nonInt = append(nonInt, m)

@@ -45,7 +45,7 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 	for _, mix := range mixes {
 		base := res.of(r.baseConfig(sim.Base, mix))
 		class := "non-intensive"
-		if mix.Apps[0].MemIntensive {
+		if mix.Apps[0].MemIntensive() {
 			class = "intensive"
 		}
 		row := []string{mix.Name, class}
@@ -136,7 +136,7 @@ func (r *Runner) hitRateTable(title, note string, metric func(sim.Result) float6
 	}
 	var nonInt, intens []workload.Mix
 	for _, m := range singles {
-		if m.Apps[0].MemIntensive {
+		if m.Apps[0].MemIntensive() {
 			intens = append(intens, m)
 		} else {
 			nonInt = append(nonInt, m)
@@ -210,7 +210,7 @@ func (r *Runner) Fig11() (*stats.Table, error) {
 	}
 	var nonInt, intens []workload.Mix
 	for _, m := range singles {
-		if m.Apps[0].MemIntensive {
+		if m.Apps[0].MemIntensive() {
 			intens = append(intens, m)
 		} else {
 			nonInt = append(nonInt, m)

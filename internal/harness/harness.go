@@ -345,7 +345,7 @@ func (r *Runner) singleWorkloads() []workload.Mix {
 	// intensive so small subsets stay balanced.
 	var intensive, non []workload.Mix
 	for _, m := range all {
-		if m.Apps[0].MemIntensive {
+		if m.Apps[0].MemIntensive() {
 			intensive = append(intensive, m)
 		} else {
 			non = append(non, m)

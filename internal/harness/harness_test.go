@@ -152,7 +152,7 @@ func TestSingleWorkloadSubsetBalanced(t *testing.T) {
 	}
 	intensive := 0
 	for _, w := range ws {
-		if w.Apps[0].MemIntensive {
+		if w.Apps[0].MemIntensive() {
 			intensive++
 		}
 	}

@@ -24,7 +24,7 @@ func testConfig(t *testing.T, mixName string) sim.Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mix := workload.Mix{Name: mixName, Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: mixName, Apps: workload.Sources(spec)}
 	cfg := sim.DefaultConfig(sim.Base, mix)
 	cfg.TargetInsts = 2_000
 	return cfg

@@ -59,7 +59,7 @@ func (r *Runner) sweepTable(title, note string, variants []sweepVariant) (*stats
 	}
 	var nonInt, intens []workload.Mix
 	for _, m := range singles {
-		if m.Apps[0].MemIntensive {
+		if m.Apps[0].MemIntensive() {
 			intens = append(intens, m)
 		} else {
 			nonInt = append(nonInt, m)

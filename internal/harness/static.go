@@ -51,7 +51,7 @@ func (r *Runner) Table2() (*stats.Table, error) {
 	for _, mix := range mixes {
 		mpki := res.of(r.baseConfig(sim.Base, mix)).LLCMPKI()
 		paperClass := "non-intensive"
-		if mix.Apps[0].MemIntensive {
+		if mix.Apps[0].MemIntensive() {
 			paperClass = "intensive"
 		}
 		measured := "non-intensive"

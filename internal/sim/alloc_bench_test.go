@@ -19,7 +19,7 @@ func BenchmarkAccessPathAllocs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := DefaultConfig(Base, workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}})
+	cfg := DefaultConfig(Base, workload.Mix{Name: "mcf", Apps: workload.Sources(spec)})
 	// The target is unreachable within the driven spans: the benchmark
 	// measures the steady state, not a completed run.
 	cfg.TargetInsts = 1 << 40

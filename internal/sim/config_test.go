@@ -8,7 +8,7 @@ import (
 )
 
 func TestGeometryPerPreset(t *testing.T) {
-	mix := workload.Mix{Name: "x", Apps: workload.Benchmarks()[:1]}
+	mix := workload.Mix{Name: "x", Apps: workload.Sources(workload.Benchmarks()[:1]...)}
 	cases := []struct {
 		preset Preset
 		fast   int
@@ -32,7 +32,7 @@ func TestGeometryPerPreset(t *testing.T) {
 }
 
 func TestBuildHookKinds(t *testing.T) {
-	mix := workload.Mix{Name: "x", Apps: workload.Benchmarks()[:1]}
+	mix := workload.Mix{Name: "x", Apps: workload.Sources(workload.Benchmarks()[:1]...)}
 	for _, p := range []Preset{Base, LLDRAM} {
 		cfg := DefaultConfig(p, mix)
 		if err := cfg.normalize(); err != nil {
@@ -62,7 +62,7 @@ func TestBuildHookKinds(t *testing.T) {
 }
 
 func TestFIGCacheSlowReservesSubarrayZero(t *testing.T) {
-	mix := workload.Mix{Name: "x", Apps: workload.Benchmarks()[:1]}
+	mix := workload.Mix{Name: "x", Apps: workload.Sources(workload.Benchmarks()[:1]...)}
 	cfg := DefaultConfig(FIGCacheSlow, mix)
 	if err := cfg.normalize(); err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestFIGCacheSlowReservesSubarrayZero(t *testing.T) {
 }
 
 func TestIdealHookZeroesCost(t *testing.T) {
-	mix := workload.Mix{Name: "x", Apps: workload.Benchmarks()[:1]}
+	mix := workload.Mix{Name: "x", Apps: workload.Sources(workload.Benchmarks()[:1]...)}
 	cfg := DefaultConfig(FIGCacheIdeal, mix)
 	if err := cfg.normalize(); err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestImmediateRelocConfigPropagates(t *testing.T) {
 	spec.Bubbles = 4
 	spec.HotSegments = 2560
 	spec.HotFraction = 0.95
-	mix := workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "warm", Apps: workload.Sources(spec)}
 
 	run := func(immediate bool) Result {
 		cfg := DefaultConfig(FIGCacheFast, mix)

@@ -34,7 +34,7 @@ func warmMix(t *testing.T) workload.Mix {
 	spec.Bubbles = 4
 	spec.HotSegments = 2560
 	spec.HotFraction = 0.95
-	return workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+	return workload.Mix{Name: "warm", Apps: workload.Sources(spec)}
 }
 
 // TestEngineEquivalence is the golden determinism test for the
@@ -72,6 +72,27 @@ func TestEngineEquivalence(t *testing.T) {
 		tc{name: "Base/sjeng", cfg: DefaultConfig(Base, smallMix(t, "sjeng")), insts: 60_000},
 		tc{name: "FIGCache-Fast/sjeng", cfg: DefaultConfig(FIGCacheFast, smallMix(t, "sjeng")), insts: 60_000},
 	)
+
+	// Recorded-trace replay must satisfy the same equivalence contract as
+	// the synthetic generator: dense, skipping, and Reset-reused runs all
+	// bit-identical. The trace is shorter than the run consumes, so the
+	// looping replay path is exercised too.
+	traceDir := t.TempDir()
+	tracePath := recordTrace(t, traceDir, "equiv.trc", "mcf", 1_500, 3)
+	for _, p := range []Preset{Base, FIGCacheFast} {
+		cases = append(cases, tc{
+			name:  p.String() + "/trace",
+			cfg:   DefaultConfig(p, workload.Mix{Name: "trace-equiv", Apps: []workload.Source{workload.TraceSource(tracePath)}}),
+			insts: 20_000,
+		})
+	}
+	// A heterogeneous mix — one synthetic core, one replayed core — pins
+	// that the two source kinds coexist in one system.
+	mixed := workload.Mix{Name: "mixed-sources", Apps: []workload.Source{
+		workload.SynthSource(smallMix(t, "gcc").Apps[0].Synth),
+		workload.TraceSource(tracePath),
+	}}
+	cases = append(cases, tc{name: "Base/mixed-sources", cfg: DefaultConfig(Base, mixed), insts: 8_000})
 
 	if !testing.Short() {
 		eight := DefaultConfig(Base, workload.EightCoreMixes()[0])
@@ -216,7 +237,7 @@ func TestEngineStallCounters(t *testing.T) {
 		spec.Bubbles = 0
 		spec.WriteFrac = 0.9
 		spec.HotFraction = 0
-		return workload.Mix{Name: "writeheavy", Apps: []workload.BenchSpec{spec}}
+		return workload.Mix{Name: "writeheavy", Apps: workload.Sources(spec)}
 	}
 	cases := []struct {
 		name         string

@@ -48,11 +48,16 @@ func (c Config) Fingerprint() Fingerprint {
 		norm.ImmediateReloc)
 	fmt.Fprintf(h, "mix=%q intensive=%d\n", norm.Mix.Name, norm.Mix.IntensivePercent)
 	for _, a := range norm.Mix.Apps {
-		// Every generator parameter: two mixes that differ only in a spec
-		// field (sensitivity studies mutate them) must not collide.
-		fmt.Fprintf(h, "app=%q mi=%t bub=%d fp=%d hot=%d str=%d zipf=%g hf=%g seq=%d wf=%g\n",
-			a.Name, a.MemIntensive, a.Bubbles, a.FootprintBytes, a.HotSegments,
-			a.Streams, a.ZipfTheta, a.HotFraction, a.SeqRun, a.WriteFrac)
+		// Every workload-source parameter: two mixes that differ only in
+		// a spec field (sensitivity studies mutate them) must not collide.
+		// Synthetic sources serialize the exact pre-Source line layout, so
+		// results cached before the Source refactor stay addressable;
+		// trace sources serialize their *content* hash (sha256 of the
+		// trace file, cached by workload.LoadTrace), so a run's identity
+		// moves exactly when the replayed records can change — never with
+		// a rename or copy of the file. Pinned by
+		// TestFingerprintGoldenSynthetic and TestFingerprintTraceContent.
+		a.WriteCanonical(h)
 	}
 	if f := norm.FIG; f != nil {
 		fmt.Fprintf(h, "fig=%d,%d,%d,%d,%d,%d,%d,%d\n",

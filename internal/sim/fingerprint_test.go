@@ -65,8 +65,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"fastsub":      func(c *Config) { c.FastSubarrays = 4 },
 		"immreloc":     func(c *Config) { c.ImmediateReloc = true },
 		"mix-name":     func(c *Config) { c.Mix.Name = "other" },
-		"app-bubbles":  func(c *Config) { c.Mix.Apps[0].Bubbles++ },
-		"app-hotfrac":  func(c *Config) { c.Mix.Apps[0].HotFraction += 0.01 },
+		"app-bubbles":  func(c *Config) { c.Mix.Apps[0].Synth.Bubbles++ },
+		"app-hotfrac":  func(c *Config) { c.Mix.Apps[0].Synth.HotFraction += 0.01 },
 		"fig-override": func(c *Config) { f := core.DefaultFIGCacheConfig(); c.FIG = &f },
 		"lisa-override": func(c *Config) {
 			l := core.DefaultLISAVillaConfig()
@@ -77,7 +77,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 	seen := map[Fingerprint]string{ref: "base"}
 	for name, mutate := range mutations {
 		cfg := base
-		cfg.Mix.Apps = append([]workload.BenchSpec(nil), base.Mix.Apps...)
+		cfg.Mix.Apps = append([]workload.Source(nil), base.Mix.Apps...)
 		mutate(&cfg)
 		fp := cfg.Fingerprint()
 		if prev, dup := seen[fp]; dup {

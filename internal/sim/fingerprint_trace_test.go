@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestFingerprintGoldenSynthetic pins the exact fingerprints of three
+// representative synthetic configurations to the values the
+// pre-workload.Source implementation computed. These hashes are the
+// on-disk identities of every previously cached synthetic result: if
+// this test fails, the refactor you are making orphans existing result
+// caches, which is only acceptable together with a sim.EngineVersion
+// bump (and then these constants must be re-pinned).
+func TestFingerprintGoldenSynthetic(t *testing.T) {
+	mcf, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := DefaultConfig(FIGCacheFast, workload.Mix{Name: "mcf", Apps: workload.Sources(mcf), IntensivePercent: 100})
+	single.TargetInsts = 20_000
+	eight := DefaultConfig(Base, workload.EightCoreMixes()[0])
+	eight.TargetInsts = 5_000
+	mt := DefaultConfig(LISAVilla, workload.MultithreadedWorkloads()[0])
+	mt.SharedFootprint = true
+
+	golden := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"single", single, "ba153cdb4573acad00593b7047af729533c9bb0c6fec0ac3c098a1b324f121c2"},
+		{"eight", eight, "fa2a9ec55498df7929c5f29315440ff409cd1f046e12a14893ab0fe78234e0b0"},
+		{"multithreaded", mt, "cf3cbeac2cac91b6675da78172f847daa9278d2c1bd49f0a0592bb872819a082"},
+	}
+	for _, g := range golden {
+		if got := g.cfg.Fingerprint().String(); got != g.want {
+			t.Errorf("%s fingerprint drifted:\n got  %s\n want %s\n(cached synthetic results are orphaned; see comment above)", g.name, got, g.want)
+		}
+	}
+}
+
+// recordTrace writes n generator records for the named benchmark into a
+// fresh binary trace file and returns its path.
+func recordTrace(t *testing.T, dir, name, bench string, n int, seed uint64) string {
+	t.Helper()
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small footprint keeps replay windows (and runtimes) test-sized.
+	spec.FootprintBytes = 64 << 20
+	spec.HotSegments = 2048
+	gen, err := workload.NewGenerator(spec, seed, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := workload.NewTraceWriter(f, gen.Span(), uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Write(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// traceConfig builds a single-core trace-backed run configuration.
+func traceConfig(t *testing.T, p Preset, path string) Config {
+	t.Helper()
+	mix := workload.Mix{Name: "trace-run", Apps: []workload.Source{workload.TraceSource(path)}}
+	cfg := DefaultConfig(p, mix)
+	cfg.TargetInsts = 20_000
+	return cfg
+}
+
+// TestFingerprintTraceContent pins the trace identity rule: the
+// fingerprint is a function of the trace file's *content* — unchanged by
+// a copy to another path, changed by any change to the records.
+func TestFingerprintTraceContent(t *testing.T) {
+	dir := t.TempDir()
+	a := recordTrace(t, dir, "a.trc", "mcf", 400, 1)
+	fpA := traceConfig(t, FIGCacheFast, a).Fingerprint()
+	if fpA != traceConfig(t, FIGCacheFast, a).Fingerprint() {
+		t.Error("trace fingerprint not deterministic")
+	}
+
+	// Same content and file name in another directory (a trace shipped to
+	// a second machine): same identity — the cache keeps serving it.
+	sub := filepath.Join(dir, "machine-b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(sub, "a.trc")
+	if err := os.WriteFile(b, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if traceConfig(t, FIGCacheFast, b).Fingerprint() != fpA {
+		t.Error("moving the trace to another directory changed the fingerprint (identity must be content+name, not directory)")
+	}
+
+	// Different records: different identity.
+	c := recordTrace(t, dir, "c.trc", "mcf", 400, 2)
+	if traceConfig(t, FIGCacheFast, c).Fingerprint() == fpA {
+		t.Error("different trace content shares a fingerprint")
+	}
+
+	// Rewriting the file in place moves the fingerprint with the content.
+	rawC, err := os.ReadFile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a, rawC, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(a, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if traceConfig(t, FIGCacheFast, a).Fingerprint() == fpA {
+		t.Error("rewritten trace kept its old fingerprint (stale content-hash cache)")
+	}
+
+	// A missing trace still fingerprints deterministically (the run
+	// itself fails later, at sim.New).
+	missing := traceConfig(t, FIGCacheFast, filepath.Join(dir, "missing.trc"))
+	if missing.Fingerprint() != missing.Fingerprint() {
+		t.Error("missing trace fingerprints nondeterministically")
+	}
+	if _, err := New(missing); err == nil {
+		t.Error("sim.New accepted a config with a missing trace file")
+	}
+}

@@ -49,7 +49,7 @@ func (s *System) collect() Result {
 	}
 	for i, c := range s.cores {
 		r.Cores = append(r.Cores, CoreResult{
-			App:        s.cfg.Mix.Apps[i].Name,
+			App:        s.cfg.Mix.Apps[i].Name(),
 			IPC:        c.IPC(s.clock),
 			Insts:      c.Retired,
 			FinishedAt: c.FinishedAt,

@@ -23,7 +23,7 @@ func TestEngineEquivalenceCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mix := workload.Mix{Name: "mcf", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "mcf", Apps: workload.Sources(spec)}
 	dir := t.TempDir()
 	writer := expcache.New(dir)
 	for _, p := range sim.Presets() {

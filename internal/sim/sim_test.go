@@ -14,7 +14,7 @@ func smallMix(t *testing.T, name string) workload.Mix {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return workload.Mix{Name: name, Apps: []workload.BenchSpec{spec}, IntensivePercent: 100}
+	return workload.Mix{Name: name, Apps: workload.Sources(spec), IntensivePercent: 100}
 }
 
 func quickRun(t *testing.T, p Preset, mix workload.Mix, insts int64) Result {
@@ -58,7 +58,7 @@ func TestPresetStrings(t *testing.T) {
 }
 
 func TestConfigNormalizeDefaults(t *testing.T) {
-	mix := workload.Mix{Name: "x", Apps: workload.Benchmarks()[:8]}
+	mix := workload.Mix{Name: "x", Apps: workload.Sources(workload.Benchmarks()[:8]...)}
 	cfg := DefaultConfig(Base, mix)
 	if err := cfg.normalize(); err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestConfigNormalizeDefaults(t *testing.T) {
 	if cfg.Channels != 4 {
 		t.Errorf("8-core channels = %d, want 4 (Table 1)", cfg.Channels)
 	}
-	single := DefaultConfig(Base, workload.Mix{Name: "y", Apps: workload.Benchmarks()[:1]})
+	single := DefaultConfig(Base, workload.Mix{Name: "y", Apps: workload.Sources(workload.Benchmarks()[:1]...)})
 	if err := single.normalize(); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestFIGCacheFastRunUsesCache(t *testing.T) {
 	spec.Bubbles = 4
 	spec.HotSegments = 2560
 	spec.HotFraction = 0.95
-	mix := workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "warm", Apps: workload.Sources(spec)}
 	res := quickRun(t, FIGCacheFast, mix, 80_000)
 	if res.CacheHits+res.CacheMisses == 0 {
 		t.Fatal("FIGCache saw no lookups")
@@ -144,7 +144,7 @@ func TestLISARunUsesRBM(t *testing.T) {
 	spec.Bubbles = 4
 	spec.HotSegments = 2560
 	spec.HotFraction = 0.95
-	mix := workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "warm", Apps: workload.Sources(spec)}
 	res := quickRun(t, LISAVilla, mix, 80_000)
 	if res.Inserted == 0 {
 		t.Error("LISA-VILLA made no insertions")

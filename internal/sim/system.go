@@ -107,10 +107,15 @@ func (s *System) bindBusSched() {
 }
 
 // initCores builds (fresh) or retargets (reuse) the per-core trace
-// generators and cores for s.cfg. Cores get equal disjoint address
-// windows (or one shared window for multithreaded workloads); each
-// benchmark's footprint is scattered across its whole window by the
-// generator, mimicking OS page placement across banks and subarrays.
+// readers and cores for s.cfg. Cores get equal disjoint address windows
+// (or one shared window for multithreaded workloads). Each workload
+// source resolves into a cpu.TraceReader through workload.Source.Open:
+// synthetic specs scatter their footprint across the whole window
+// (mimicking OS page placement across banks and subarrays), recorded
+// traces replay their stream rebased into the window. Trace files are
+// read here — compute time — not during planning or fingerprinting of
+// the synthetic parts; Reset reopens sources, which rewinds replayers
+// bit-identically (the loaded trace bytes are cached and immutable).
 func (s *System) initCores(fresh bool) error {
 	cfg := s.cfg
 	geo := cfg.geometry()
@@ -118,20 +123,25 @@ func (s *System) initCores(fresh bool) error {
 	if !cfg.SharedFootprint {
 		span = floorPow2(uint64(s.mapper.TotalBytes()) / uint64(len(cfg.Mix.Apps)))
 	}
-	for i, app := range cfg.Mix.Apps {
+	for i, src := range cfg.Mix.Apps {
 		base := uint64(0)
 		if !cfg.SharedFootprint {
 			base = uint64(i) * span
 		}
-		if uint64(app.FootprintBytes) > span {
+		footprint, err := src.FootprintBytes()
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if uint64(footprint) > span {
 			return fmt.Errorf("sim: %s footprint %d exceeds its %d-byte window",
-				app.Name, app.FootprintBytes, span)
+				src.Name(), footprint, span)
 		}
 		// The generator needs the distance between two rows of the same
 		// bank under this system's interleaving, so hot conflict groups
 		// land in one bank across different rows (Section 8.1). Threads of
 		// a multithreaded workload share one layout seed so their logical
-		// segments resolve to the same physical addresses.
+		// segments resolve to the same physical addresses. Recorded traces
+		// ignore both knobs: their access pattern is fixed at record time.
 		layout := workload.Layout{
 			RowStrideBytes: uint64(geo.RowBytes) * uint64(cfg.Channels) *
 				uint64(geo.BanksPerRank()) * uint64(geo.Ranks),
@@ -139,7 +149,7 @@ func (s *System) initCores(fresh bool) error {
 		if cfg.SharedFootprint {
 			layout.LayoutSeed = cfg.Seed + 0x51ed270b
 		}
-		gen, err := workload.NewGeneratorLayout(app, cfg.Seed+uint64(i)*1315423911, base, span, layout)
+		gen, err := src.Open(cfg.Seed+uint64(i)*1315423911, base, span, layout)
 		if err != nil {
 			return err
 		}

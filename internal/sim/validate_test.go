@@ -23,7 +23,7 @@ func TestCommandTracesObeyJEDEC(t *testing.T) {
 	spec.Bubbles = 4
 	spec.HotSegments = 2560
 	spec.HotFraction = 0.95
-	mix := workload.Mix{Name: "warm", Apps: []workload.BenchSpec{spec}}
+	mix := workload.Mix{Name: "warm", Apps: workload.Sources(spec)}
 
 	for _, p := range Presets() {
 		p := p

@@ -26,4 +26,15 @@
 // parameter is folded into the fingerprint, so sensitivity studies that
 // mutate a spec can never collide with the stock benchmark's cached
 // results.
+//
+// Workload identity is abstracted behind Source: a core's trace comes
+// either from a synthetic generator (KindSynth, the spec above) or from
+// a recorded trace file (KindTrace) replayed through the identical
+// pipeline — the door to real SPEC/gem5-derived traces and adversarial
+// access patterns. Recorded traces use a compact versioned binary format
+// (TraceWriter/TraceScanner; see trace.go for the layout) with an
+// allocation-free streaming reader and a deterministic looping Replayer;
+// a trace's run identity is the sha256 of its content (cached per path
+// by LoadTrace), never its filename. tracegen records them, figsim and
+// figbench replay them as "trace:FILE" workloads.
 package workload

@@ -2,12 +2,13 @@ package workload
 
 import "fmt"
 
-// Mix is one multiprogrammed workload: an ordered list of benchmarks, one
-// per core, plus the category it belongs to (fraction of memory-intensive
-// applications).
+// Mix is one multiprogrammed workload: an ordered list of workload
+// sources, one per core, plus the category it belongs to (fraction of
+// memory-intensive applications). Sources may be synthetic generators,
+// recorded traces, or any combination.
 type Mix struct {
 	Name             string
-	Apps             []BenchSpec
+	Apps             []Source
 	IntensivePercent int // 25, 50, 75 or 100
 }
 
@@ -33,10 +34,10 @@ func EightCoreMixes() []Mix {
 			}
 			for c := 0; c < cores; c++ {
 				if c < nInt {
-					mix.Apps = append(mix.Apps, intensive[ii%len(intensive)])
+					mix.Apps = append(mix.Apps, SynthSource(intensive[ii%len(intensive)]))
 					ii++
 				} else {
-					mix.Apps = append(mix.Apps, nonIntensive[ni%len(nonIntensive)])
+					mix.Apps = append(mix.Apps, SynthSource(nonIntensive[ni%len(nonIntensive)]))
 					ni++
 				}
 			}
@@ -66,7 +67,7 @@ func SingleCoreWorkloads() []Mix {
 		if s.MemIntensive {
 			pct = 100
 		}
-		out = append(out, Mix{Name: s.Name, Apps: []BenchSpec{s}, IntensivePercent: pct})
+		out = append(out, Mix{Name: s.Name, Apps: Sources(s), IntensivePercent: pct})
 	}
 	return out
 }
@@ -79,7 +80,7 @@ func MultithreadedWorkloads() []Mix {
 	for _, s := range Multithreaded() {
 		mix := Mix{Name: s.Name, IntensivePercent: 100}
 		for c := 0; c < 8; c++ {
-			mix.Apps = append(mix.Apps, s)
+			mix.Apps = append(mix.Apps, SynthSource(s))
 		}
 		out = append(out, mix)
 	}

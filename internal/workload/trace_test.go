@@ -1,0 +1,475 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// genRecords produces n records from a fresh mcf generator.
+func genRecords(t *testing.T, n int, seed uint64) ([]cpu.TraceRecord, uint64) {
+	t.Helper()
+	spec, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(spec, seed, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]cpu.TraceRecord, n)
+	for i := range recs {
+		recs[i] = g.Next()
+	}
+	return recs, g.Span()
+}
+
+// encodeTrace writes records through TraceWriter into a byte buffer.
+func encodeTrace(t *testing.T, recs []cpu.TraceRecord, span uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, span, uint64(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeTraceFile records n generator records into a fresh trace file.
+func writeTraceFile(t *testing.T, dir, name string, n int, seed uint64) (string, []cpu.TraceRecord) {
+	t.Helper()
+	recs, span := genRecords(t, n, seed)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, encodeTrace(t, recs, span), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, recs
+}
+
+func TestTraceWriterScannerRoundTrip(t *testing.T) {
+	recs, span := genRecords(t, 2000, 42)
+	img := encodeTrace(t, recs, span)
+
+	s, err := NewTraceScanner(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Span() != span || s.Count() != 2000 {
+		t.Fatalf("header span=%d count=%d, want %d/2000", s.Span(), s.Count(), span)
+	}
+	var got []cpu.TraceRecord
+	for s.Scan() {
+		got = append(got, s.Record())
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("scanner records differ from written records")
+	}
+}
+
+func TestTraceWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewTraceWriter(&buf, 12345, 1); err == nil {
+		t.Error("non-power-of-two span accepted")
+	}
+	if _, err := NewTraceWriter(&buf, 1<<20, 0); err == nil {
+		t.Error("zero record count accepted")
+	}
+	tw, err := NewTraceWriter(&buf, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(cpu.TraceRecord{Bubbles: -1}); err == nil {
+		t.Error("negative bubbles accepted")
+	}
+	if err := tw.Write(cpu.TraceRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err == nil {
+		t.Error("Close accepted a short trace (declared 2, wrote 1)")
+	}
+	if err := tw.Write(cpu.TraceRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(cpu.TraceRecord{}); err == nil {
+		t.Error("write past the declared count accepted")
+	}
+	tw2, err := NewTraceWriter(&buf, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw2.Write(cpu.TraceRecord{Addr: 1 << 20}); err == nil {
+		t.Error("address outside the declared span accepted (traces are window-relative)")
+	}
+}
+
+// TestTraceRejectsOutOfSpanAddress hand-crafts a trace whose record
+// address exceeds the declared span — an externally produced file the
+// writer could never emit — and checks the loader rejects it instead of
+// letting replay alias it onto another address.
+func TestTraceRejectsOutOfSpanAddress(t *testing.T) {
+	img := make([]byte, traceHeaderBytes)
+	copy(img[0:4], traceMagic)
+	binary.LittleEndian.PutUint16(img[4:6], TraceFormatVersion)
+	binary.LittleEndian.PutUint64(img[8:16], 1<<20) // span
+	binary.LittleEndian.PutUint64(img[16:24], 1)    // count
+	var rec [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(rec[:], 0)               // bubbles 0, read
+	n += binary.PutVarint(rec[n:], int64(1<<20)+64) // addr past the span
+	if _, err := parseTrace(append(img, rec[:n]...)); err == nil {
+		t.Error("parseTrace accepted an address outside the declared span")
+	}
+}
+
+func TestTraceScannerRejectsCorrupt(t *testing.T) {
+	recs, span := genRecords(t, 50, 1)
+	img := encodeTrace(t, recs, span)
+
+	cases := map[string][]byte{
+		"bad magic":   append([]byte("NOPE"), img[4:]...),
+		"bad version": func() []byte { b := append([]byte(nil), img...); b[4] = 99; return b }(),
+		"zero span":   func() []byte { b := append([]byte(nil), img...); copy(b[8:16], make([]byte, 8)); return b }(),
+		"short file":  img[:len(img)/2],
+		"empty":       nil,
+	}
+	for name, b := range cases {
+		s, err := NewTraceScanner(bytes.NewReader(b))
+		if err != nil {
+			continue // rejected at the header, fine
+		}
+		for s.Scan() {
+		}
+		if s.Err() == nil && s.n == s.count {
+			t.Errorf("%s: corrupt trace fully decoded", name)
+		}
+	}
+	if _, err := parseTrace(img[:len(img)/2]); err == nil {
+		t.Error("parseTrace accepted a truncated image")
+	}
+	// Trailing bytes after the declared records would be decoded as
+	// phantom records when the replayer loops; they must be rejected.
+	if _, err := parseTrace(append(append([]byte(nil), img...), 0x80)); err == nil {
+		t.Error("parseTrace accepted trailing bytes after the declared records")
+	}
+}
+
+// TestReplayerLoopsDeterministically replays more records than the trace
+// holds and checks the stream loops back to the start bit-identically,
+// and that two replayers over the same data agree.
+func TestReplayerLoopsDeterministically(t *testing.T) {
+	recs, span := genRecords(t, 100, 7)
+	td, err := parseTrace(encodeTrace(t, recs, span))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := td.Replayer(0, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := td.Replayer(0, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 350; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("record %d: replayers diverge: %+v vs %+v", i, ra, rb)
+		}
+		if want := recs[i%len(recs)]; ra != want {
+			t.Fatalf("record %d: got %+v, want %+v (loop broken)", i, ra, want)
+		}
+	}
+}
+
+func TestReplayerRebasesAddresses(t *testing.T) {
+	recs, span := genRecords(t, 200, 3)
+	td, err := parseTrace(encodeTrace(t, recs, span))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(4) * span
+	r, err := td.Replayer(base, span*2) // larger window: addresses must not alias
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		got := r.Next()
+		if got.Addr != base+recs[i].Addr {
+			t.Fatalf("record %d: addr %#x, want base %#x + %#x", i, got.Addr, base, recs[i].Addr)
+		}
+	}
+	// A window smaller than the recorded span would alias addresses.
+	if _, err := td.Replayer(0, span/2); err == nil {
+		t.Error("replay window smaller than the recorded span accepted")
+	}
+	if _, err := td.Replayer(0, span*3); err == nil {
+		t.Error("non-power-of-two replay window accepted")
+	}
+}
+
+// TestTextBinaryRoundTrip pins that the text format and the binary
+// format describe the same records: encode records both ways, decode
+// both, and compare record-for-record.
+func TestTextBinaryRoundTrip(t *testing.T) {
+	recs, span := genRecords(t, 1000, 11)
+
+	// Text: format then parse each record.
+	for i, rec := range recs {
+		got, err := ParseTextRecord(FormatTextRecord(rec))
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != rec {
+			t.Fatalf("record %d: text round trip %+v != %+v", i, got, rec)
+		}
+	}
+
+	// Binary: write then scan, comparing against the text rendering so
+	// both formats are checked against one another, not just themselves.
+	s, err := NewTraceScanner(bytes.NewReader(encodeTrace(t, recs, span)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; s.Scan(); i++ {
+		if FormatTextRecord(s.Record()) != FormatTextRecord(recs[i]) {
+			t.Fatalf("record %d: binary %q != text %q", i, FormatTextRecord(s.Record()), FormatTextRecord(recs[i]))
+		}
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+}
+
+func TestParseTextRecordRejects(t *testing.T) {
+	for _, line := range []string{"", "1 0x40", "x 0x40 R", "-2 0x40 R", "1 zz R", "1 0x40 Q", "1 0x40 R extra"} {
+		if _, err := ParseTextRecord(line); err == nil {
+			t.Errorf("ParseTextRecord(%q) accepted", line)
+		}
+	}
+}
+
+func TestLoadTraceCachesAndInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeTraceFile(t, dir, "a.trc", 100, 1)
+	td1, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td2, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td1 != td2 {
+		t.Error("unchanged file was reloaded instead of served from cache")
+	}
+
+	// Rewrite with different content: the cache must notice.
+	recs, span := genRecords(t, 100, 2)
+	if err := os.WriteFile(path, encodeTrace(t, recs, span), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	td3, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td3.SHA == td1.SHA {
+		t.Error("rewritten trace served with the old content hash")
+	}
+
+	// The racy case: a same-length rewrite inside the filesystem's mtime
+	// granularity. Flipping the first record's write bit keeps the byte
+	// length and the varint structure but changes the content; the cache
+	// must not serve the old bytes on a (size, mtime) match alone.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[24] ^= 1 // first record's bubbles<<1|isWrite byte
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	td4, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td4.SHA == td3.SHA {
+		t.Error("same-size rewrite within the mtime window served stale content")
+	}
+}
+
+func TestSourceValidateAndNames(t *testing.T) {
+	spec, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SynthSource(spec)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "mcf" || !s.MemIntensive() {
+		t.Errorf("synth source name=%q intensive=%v", s.Name(), s.MemIntensive())
+	}
+	fb, err := s.FootprintBytes()
+	if err != nil || fb != spec.FootprintBytes {
+		t.Errorf("synth footprint = %d, %v", fb, err)
+	}
+
+	tr := TraceSource("/some/dir/mcf.trc")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "trace:mcf.trc" {
+		t.Errorf("trace source name = %q", tr.Name())
+	}
+	if err := TraceSource("").Validate(); err == nil {
+		t.Error("empty trace path accepted")
+	}
+	if err := (Source{Kind: 99}).Validate(); err == nil {
+		t.Error("unknown source kind accepted")
+	}
+}
+
+// TestSourceOpenTraceMatchesGenerator records a generator's stream and
+// checks the opened trace source replays it exactly — the end-to-end
+// "record and replay through the same interface" contract.
+func TestSourceOpenTraceMatchesGenerator(t *testing.T) {
+	dir := t.TempDir()
+	path, recs := writeTraceFile(t, dir, "mcf.trc", 500, 5)
+	td, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr, err := TraceSource(path).Open(123 /* ignored */, 0, td.Span, Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		if got := rdr.Next(); got != want {
+			t.Fatalf("record %d: %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestSourceWriteCanonical(t *testing.T) {
+	spec, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic line is a persisted-cache identity; its exact bytes
+	// must never change (see Source.WriteCanonical).
+	var buf bytes.Buffer
+	SynthSource(spec).WriteCanonical(&buf)
+	want := `app="mcf" mi=true bub=36 fp=1073741824 hot=2944 str=2 zipf=0.7 hf=0.93 seq=1 wf=0.15` + "\n"
+	if buf.String() != want {
+		t.Errorf("synthetic canonical line changed:\n got: %q\nwant: %q", buf.String(), want)
+	}
+
+	dir := t.TempDir()
+	pathA, _ := writeTraceFile(t, dir, "a.trc", 80, 9)
+	var a bytes.Buffer
+	TraceSource(pathA).WriteCanonical(&a)
+
+	// Same content and file name in a different directory (the
+	// cross-machine case): same canonical identity.
+	sub := filepath.Join(dir, "elsewhere")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathB := filepath.Join(sub, "a.trc")
+	if err := os.WriteFile(pathB, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	TraceSource(pathB).WriteCanonical(&b)
+	if a.String() != b.String() {
+		t.Error("identical trace content+name in two directories serializes differently")
+	}
+
+	// Same content under a different file name: different identity (the
+	// name labels results, so it is part of the run's identity).
+	pathR := filepath.Join(dir, "renamed.trc")
+	if err := os.WriteFile(pathR, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rn bytes.Buffer
+	TraceSource(pathR).WriteCanonical(&rn)
+	if a.String() == rn.String() {
+		t.Error("renamed trace kept its canonical identity despite relabelled results")
+	}
+
+	// Different content: different identity.
+	pathC, _ := writeTraceFile(t, dir, "c.trc", 80, 10)
+	var c bytes.Buffer
+	TraceSource(pathC).WriteCanonical(&c)
+	if a.String() == c.String() {
+		t.Error("different trace content shares a canonical identity")
+	}
+
+	// Unreadable: deterministic error form, twice the same.
+	var e1, e2 bytes.Buffer
+	missing := TraceSource(filepath.Join(dir, "missing.trc"))
+	missing.WriteCanonical(&e1)
+	missing.WriteCanonical(&e2)
+	if e1.String() != e2.String() || e1.Len() == 0 {
+		t.Error("unreadable trace does not serialize deterministically")
+	}
+}
+
+func TestFindMix(t *testing.T) {
+	if m, shared, err := FindMix("mcf"); err != nil || shared || len(m.Apps) != 1 || m.Apps[0].Kind != KindSynth {
+		t.Errorf("FindMix(mcf) = %+v shared=%v err=%v", m, shared, err)
+	}
+	if m, _, err := FindMix("mix-100-0"); err != nil || len(m.Apps) != 8 {
+		t.Errorf("FindMix(mix-100-0) = %+v err=%v", m, err)
+	}
+	if m, shared, err := FindMix("mt-canneal"); err != nil || !shared || len(m.Apps) != 8 {
+		t.Errorf("FindMix(mt-canneal) = %+v shared=%v err=%v", m, shared, err)
+	}
+	if m, shared, err := FindMix("trace:some/file.trc"); err != nil || shared ||
+		len(m.Apps) != 1 || m.Apps[0].Kind != KindTrace || m.Apps[0].TracePath != "some/file.trc" {
+		t.Errorf("FindMix(trace:...) = %+v shared=%v err=%v", m, shared, err)
+	}
+	for _, bad := range []string{"nosuch", "mt-nosuch", "trace:"} {
+		if _, _, err := FindMix(bad); err == nil {
+			t.Errorf("FindMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	names := MixNames()
+	cases := map[string]string{
+		"mcff":      "mcf",
+		"sjneg":     "sjeng",
+		"mix-100-O": "mix-100-0",
+		"mt-cannea": "mt-canneal",
+	}
+	for typo, want := range cases {
+		if got := Suggest(typo, names); got != want {
+			t.Errorf("Suggest(%q) = %q, want %q", typo, got, want)
+		}
+	}
+	if got := Suggest("zzzzzzzzzz", names); got != "" {
+		t.Errorf("Suggest(garbage) = %q, want no suggestion", got)
+	}
+}

@@ -289,7 +289,7 @@ func TestEightCoreMixes(t *testing.T) {
 			}
 			nInt := 0
 			for _, a := range m.Apps {
-				if a.MemIntensive {
+				if a.MemIntensive() {
 					nInt++
 				}
 			}
@@ -322,8 +322,8 @@ func TestMultithreadedWorkloadsShareSpec(t *testing.T) {
 			t.Fatalf("%s: %d threads, want 8", w.Name, len(w.Apps))
 		}
 		for _, a := range w.Apps {
-			if a.Name != w.Name {
-				t.Errorf("%s thread runs %s", w.Name, a.Name)
+			if a.Name() != w.Name {
+				t.Errorf("%s thread runs %s", w.Name, a.Name())
 			}
 		}
 	}
