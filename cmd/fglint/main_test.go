@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+// The exit-code contract is part of the tool's interface: CI keys off
+// it, so lock it down. run() prints to stdout/stderr; these tests only
+// assert the codes.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"list rejects extra args", []string{"-list", "./..."}, 2},
+		{"unknown flag", []string{"-frobnicate"}, 2},
+		{"unknown analyzer", []string{"-only", "nosuchcheck"}, 2},
+		{"only versionguard needs base", []string{"-only", "versionguard"}, 2},
+		{"bad package pattern", []string{"no/such/dir"}, 2},
+		{"single analyzer clean tree", []string{"-only", "maprange", "./internal/dram"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFullSuiteCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if got := run([]string{"./..."}); got != 0 {
+		t.Errorf("run(./...) = %d, want 0 (tree must stay fglint-clean)", got)
+	}
+}

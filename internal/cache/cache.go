@@ -96,8 +96,8 @@ type Cache struct {
 	lines []line
 	setsN uint64
 	shift uint
-	next  Backend
-	sched Scheduler
+	next  Backend   //fglint:preserved wiring, rebound by Hierarchy on construction and reuse alike
+	sched Scheduler //fglint:preserved wiring, rebound by Hierarchy on construction and reuse alike
 	// Outstanding misses: bounded levels (MSHRs > 0, the per-core L1s)
 	// keep them in a small slice scanned linearly, which beats map
 	// overhead at Table 1's 8 entries; unbounded levels use the map.
@@ -161,6 +161,7 @@ func (c *Cache) Reset() {
 		c.active[i] = nil
 	}
 	c.active = c.active[:0]
+	//fglint:deterministic drain order only affects free-list pointer order, never simulated state
 	for blk, m := range c.mshrs {
 		m.waiters = m.waiters[:0]
 		c.free = append(c.free, m)

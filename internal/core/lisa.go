@@ -170,6 +170,7 @@ func (l *LISAVilla) ShouldInsert(loc dram.Location) bool {
 	bank.missesEpoch++
 	if bank.missesEpoch >= l.cfg.EpochMisses {
 		bank.missesEpoch = 0
+		//fglint:deterministic per-entry halve-or-delete decay; entries are independent, order cannot matter
 		for k, v := range bank.hot {
 			if v <= 1 {
 				delete(bank.hot, k)

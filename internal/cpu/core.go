@@ -48,7 +48,7 @@ type Core struct {
 	cfg Config
 
 	trace TraceReader
-	l1    *cache.Cache
+	l1    *cache.Cache //fglint:preserved wiring only; the cache's own state is reset by Hierarchy.Reset
 
 	// Instruction window: a ring buffer of completion flags. done[i]
 	// marks the entry ready to retire. epoch[i] disambiguates reuse of a

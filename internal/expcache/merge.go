@@ -226,7 +226,11 @@ func collect(srcs []string) (rep *MergeReport, entries map[string]mergedFile, or
 				rep.MissingShards = append(rep.MissingShards, s)
 			}
 		}
-		for _, m := range manifests {
+		for s := 1; s <= ref.NumShards; s++ {
+			m := manifests[s]
+			if m == nil {
+				continue
+			}
 			for _, fp := range m.Assigned {
 				if _, ok := entries[fp]; !ok {
 					rep.Missing = append(rep.Missing, fp)

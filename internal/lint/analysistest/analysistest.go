@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over a testdata source tree and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest. Test packages live under
+// <testdata>/src/<importpath>, so a package placed at
+// testdata/src/internal/sim exercises the timing-path predicates exactly
+// like the real internal/sim does.
+//
+// An expectation is a comment of the form
+//
+//	// want `regexp`
+//	// want `re1` `re2`        (two diagnostics on this line)
+//	// want "regexp"
+//
+// on the line where the diagnostic is expected. Every expectation must be
+// matched by a diagnostic on its line and every diagnostic must match an
+// expectation, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// expectation is one compiled // want regexp at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the packages at the given import paths from
+// testdataDir/src, applies the analyzer, and reports mismatches between
+// its diagnostics and the // want expectations through t.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewDirLoader(filepath.Join(testdataDir, "src"))
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading testdata packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for %v", pkgPaths)
+	}
+
+	var units []*analysis.Unit
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, p := range pkgs {
+		units = append(units, &analysis.Unit{
+			PkgPath: p.PkgPath, Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		})
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, raw := range splitPatterns(rest) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, raw, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// splitPatterns extracts the backquoted or double-quoted patterns from
+// the remainder of a want comment.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				out = append(out, s[1:])
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote respecting escapes, then unquote.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i >= len(s) {
+				out = append(out, s[1:])
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:i+1]); err == nil {
+				out = append(out, unq)
+			} else {
+				out = append(out, s[1:i])
+			}
+			s = s[i+1:]
+		default:
+			// Bare word: take up to the next space (lenient, mostly for
+			// mistakes; the tests use quoted forms).
+			i := strings.IndexByte(s, ' ')
+			if i < 0 {
+				out = append(out, s)
+				return out
+			}
+			out = append(out, s[:i])
+			s = s[i:]
+		}
+	}
+}

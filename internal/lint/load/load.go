@@ -1,0 +1,312 @@
+// Package load turns Go source directories into type-checked packages
+// for the fglint analyzers, using only the standard library: packages
+// inside the analyzed tree are parsed and type-checked from source, and
+// standard-library imports are resolved through go/importer's source
+// importer against GOROOT. Nothing shells out to the go command, so
+// loading works offline, inside tests, and over testdata trees that the
+// go tool refuses to list.
+//
+// The loader is deliberately narrower than go/packages: it ignores test
+// files, build tags, and cgo — none of which the analyzed tree uses —
+// and it requires every non-standard import to live under the loader's
+// source root (true for this module, whose only dependency is the
+// standard library).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the package's import path: module-qualified for module
+	// loads ("repro/internal/sim"), root-relative for testdata loads
+	// ("internal/sim").
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Loader loads and memoizes packages over one source root.
+type Loader struct {
+	fset *token.FileSet
+	// root is the directory paths resolve against; modulePath, when
+	// non-empty, is the import-path prefix mapped onto root.
+	root       string
+	modulePath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewModuleLoader builds a loader rooted at the module directory,
+// reading the module path from go.mod. Import paths under the module
+// path resolve to subdirectories of root; everything else must be a
+// standard-library package.
+func NewModuleLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", root)
+	}
+	l := newLoader(root)
+	l.modulePath = modPath
+	return l, nil
+}
+
+// NewDirLoader builds a loader over a bare source tree (analysistest's
+// testdata/src): every non-standard import path resolves to the
+// directory of the same name under srcRoot.
+func NewDirLoader(srcRoot string) *Loader {
+	return newLoader(srcRoot)
+}
+
+func newLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an import path to a directory under the loader's root, or
+// ok=false when the path is outside the root (standard library).
+func (l *Loader) dirFor(path string) (string, bool) {
+	rel := path
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			rel = "."
+		} else if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			rel = rest
+		} else {
+			return "", false
+		}
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+// Load loads the packages matched by the given patterns. A pattern is a
+// directory path, optionally suffixed with "/..." to include every
+// package in the subtree (directories named testdata, vendor, or
+// starting with "." or "_" are skipped, as the go tool does). Relative
+// patterns resolve against the loader's root. Results are sorted by
+// import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.root, filepath.FromSlash(pat))
+		}
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("load: pattern %q does not name a directory", pat)
+		}
+		if !recursive {
+			dirs[dir] = true
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+	}
+
+	var pkgs []*Package
+	var paths []string
+	for dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		paths = append(paths, l.pathFor(dir))
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// pathFor is the inverse of dirFor for directories under the root.
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case l.modulePath == "":
+		return rel
+	case rel == "":
+		return l.modulePath
+	default:
+		return l.modulePath + "/" + rel
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := sourceFiles(dir)
+	return err == nil && len(names) > 0
+}
+
+// sourceFiles lists the non-test .go files of a directory, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadPackage parses and type-checks the package at the given import
+// path (which must resolve under the root), memoizing the result.
+func (l *Loader) loadPackage(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("load: package %q not found under %s", path, l.root)
+	}
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: importerFunc{l, dir},
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	p := &Package{PkgPath: path, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importerFunc resolves imports for one package being type-checked:
+// in-tree paths recurse into the loader, everything else goes to the
+// GOROOT source importer.
+type importerFunc struct {
+	l   *Loader
+	dir string
+}
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	return f.ImportFrom(path, f.dir, 0)
+}
+
+func (f importerFunc) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := f.l.dirFor(path); ok {
+		p, err := f.l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return f.l.std.ImportFrom(path, dir, 0)
+}

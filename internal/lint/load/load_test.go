@@ -1,0 +1,73 @@
+package load_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/load"
+)
+
+// moduleRoot is the repository root, two levels above this package.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLoadWholeModule(t *testing.T) {
+	l, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	for _, want := range []string{"repro/internal/sim", "repro/internal/memctrl", "repro/internal/lint"} {
+		if byPath[want] == nil {
+			t.Errorf("module load missing package %s", want)
+		}
+	}
+	// Type information must actually be populated, not just parsed ASTs.
+	sim := byPath["repro/internal/sim"]
+	if sim == nil {
+		t.Fatal("no repro/internal/sim")
+	}
+	if sim.Pkg.Scope().Lookup("System") == nil {
+		t.Error("internal/sim type info lacks the System type")
+	}
+	if len(sim.Info.Defs) == 0 || len(sim.Info.Uses) == 0 {
+		t.Error("internal/sim type info has empty Defs/Uses maps")
+	}
+}
+
+func TestLoadSinglePackagePattern(t *testing.T) {
+	l, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("internal/dram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "repro/internal/dram" {
+		t.Fatalf("got %d packages, want exactly repro/internal/dram", len(pkgs))
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	l, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("no/such/dir"); err == nil {
+		t.Fatal("expected an error for a nonexistent pattern")
+	}
+}

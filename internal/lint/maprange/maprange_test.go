@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "internal/sim", "plainpkg")
+}

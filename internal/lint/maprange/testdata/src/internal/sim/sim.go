@@ -1,0 +1,56 @@
+// Package sim is maprange test input; its import path ends in
+// internal/sim, so the order-sensitive predicate applies.
+package sim
+
+import (
+	"maps"
+	"slices"
+)
+
+func flagged(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map m: iteration order is randomized`
+		s += k
+	}
+	return s
+}
+
+func annotated(m map[int]int) int {
+	s := 0
+	//fglint:deterministic integer sum is commutative
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func annotatedTrailing(m map[int]int) {
+	for range m { //fglint:deterministic counting only, no per-key effect
+	}
+}
+
+func missingReason(m map[int]int) {
+	//fglint:deterministic
+	for range m { // want `annotation needs a reason`
+	}
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `maps.Keys yields keys in randomized order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+func sliceRangeClean(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package plainpkg is outside the order-sensitive set, so its map
+// ranges are not maprange's business.
+package plainpkg
+
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

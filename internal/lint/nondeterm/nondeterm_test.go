@@ -1,0 +1,12 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterm.Analyzer, "internal/memctrl", "internal/harness")
+}

@@ -1,0 +1,16 @@
+// Package harness is outside the timing path: wall-clock use here is
+// legitimate (progress reporting, timeouts) and must not be flagged.
+package harness
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func ResultDir() string {
+	return os.Getenv("FGSIM_RESULTS")
+}

@@ -1,0 +1,51 @@
+// Package memctrl is nondeterm test input; its import path ends in
+// internal/memctrl, so the timing-path predicate applies.
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads wall-clock time`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads wall-clock time`
+}
+
+func ambient() string {
+	return os.Getenv("FGSIM_SEED") // want `os.Getenv reads ambient process state`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand.Intn draws from the process-global generator`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6) // method on a run-owned generator: fine
+}
+
+func newGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are fine
+}
+
+func printMap(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want `fmt.Sprintf formats a map argument`
+}
+
+func printSorted(keys []string) string {
+	return fmt.Sprint(keys)
+}
+
+func annotated() int64 {
+	return time.Now().UnixNano() //fglint:deterministic progress logging cadence only, never enters a Result
+}
+
+func missingReason() int64 {
+	//fglint:deterministic
+	return time.Now().UnixNano() // want `annotation needs a reason`
+}

@@ -1,0 +1,12 @@
+package resetcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", resetcomplete.Analyzer, "enginepkg")
+}

@@ -1,0 +1,74 @@
+// Package enginepkg is resetcomplete test input. The check applies to
+// every package (Reset completeness is not a timing-path-only concern),
+// so no special import path is needed.
+package enginepkg
+
+// Engine exercises the main cases: a field reset directly, a field reset
+// through a helper method, a mutated field Reset forgets, and an
+// annotated survivor.
+type Engine struct {
+	cycles  int
+	hits    int
+	scratch []int // want `field scratch of Engine is mutated during simulation .* but never touched by its Reset method`
+	pool    []int //fglint:preserved entries are fully overwritten before reuse, so stale contents cannot leak
+	cfg     int   // read-only after construction: no reset needed
+}
+
+func NewEngine(cfg int) *Engine {
+	e := &Engine{}
+	e.cfg = cfg // constructor writes are not simulation-time mutation
+	return e
+}
+
+func (e *Engine) Tick() {
+	e.cycles++
+	e.record()
+	e.scratch = append(e.scratch, e.cycles)
+	e.pool = e.pool[:0]
+}
+
+func (e *Engine) record() { e.hits++ }
+
+func (e *Engine) Reset() {
+	e.cycles = 0
+	e.clearHits()
+}
+
+// clearHits is reachable from Reset, so hits counts as handled.
+func (e *Engine) clearHits() { e.hits = 0 }
+
+// Bank resets by whole-struct assignment: every field is handled.
+type Bank struct {
+	open bool
+	row  uint64
+}
+
+func (b *Bank) Touch(r uint64) { b.open, b.row = true, r }
+func (b *Bank) Reset()         { *b = Bank{} }
+
+// Meter's annotation is missing its mandatory reason.
+type Meter struct {
+	//fglint:preserved
+	n int // want `annotation needs a reason`
+}
+
+func (m *Meter) Bump()  { m.n++ }
+func (m *Meter) Reset() {}
+
+// Outer mutates a field through a pointer-receiver method call; that
+// counts as a write even though no assignment names the field.
+type Outer struct {
+	inner *Inner // want `field inner of Outer is mutated during simulation`
+	gauge *Inner //fglint:preserved the gauge is reset by its owner, not by Outer
+}
+
+type Inner struct{ n int }
+
+func (i *Inner) Poke() { i.n++ }
+
+func (o *Outer) Step() {
+	o.inner.Poke()
+	o.gauge.Poke()
+}
+
+func (o *Outer) Reset() {}

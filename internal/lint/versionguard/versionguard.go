@@ -1,0 +1,178 @@
+// Package versionguard enforces the EngineVersion bump rule from
+// ARCHITECTURE.md: any change that can alter simulated results must bump
+// sim.EngineVersion, because the experiment cache keys results by
+// (config fingerprint, engine version) — a result-affecting change that
+// keeps the version serves stale numbers forever and no test notices.
+//
+// Unlike the other fglint checks this is not a per-package AST pass: it
+// compares the working tree against the merge-base with a base ref
+// (fglint -base <ref>). The check fails when timing-path .go files
+// changed but EngineVersion did not, unless a commit in the range
+// declares the change result-preserving with a line containing
+//
+//	equivalence: unchanged
+//
+// (the author's claim that TestEngineEquivalence still pins the same
+// numbers — cheap to verify in review, and recorded in history).
+package versionguard
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Name and Doc describe the check for fglint -list alongside the AST
+// analyzers.
+const (
+	Name = "versionguard"
+	Doc  = "with -base <ref>: fail when timing-path files changed since the merge-base " +
+		"without a sim.EngineVersion bump or an \"equivalence: unchanged\" commit marker"
+)
+
+// FingerprintFile is the file (relative to the repo root) that declares
+// EngineVersion.
+const FingerprintFile = "internal/sim/fingerprint.go"
+
+// Marker is the commit-message line that declares a timing-path change
+// result-preserving.
+const Marker = "equivalence: unchanged"
+
+var versionRE = regexp.MustCompile(`EngineVersion\s*=\s*(\d+)`)
+
+// Finding is one versionguard violation.
+type Finding struct {
+	Message string
+}
+
+// Check compares the working tree of the repository at repoRoot against
+// the merge-base of baseRef and HEAD. It returns findings (nil when
+// clean) and an error only when git itself fails (unknown ref, not a
+// repository).
+func Check(repoRoot, baseRef string) ([]Finding, error) {
+	mergeBase, err := git(repoRoot, "merge-base", baseRef, "HEAD")
+	if err != nil {
+		return nil, fmt.Errorf("versionguard: resolving merge-base of %q and HEAD: %w", baseRef, err)
+	}
+	mergeBase = strings.TrimSpace(mergeBase)
+
+	// Diff against the working tree (not HEAD) so uncommitted edits are
+	// held to the same rule before they are ever committed.
+	diff, err := git(repoRoot, "diff", "--name-only", mergeBase, "--", ".")
+	if err != nil {
+		return nil, fmt.Errorf("versionguard: diff against %s: %w", mergeBase, err)
+	}
+	var timingChanged []string
+	for _, name := range strings.Split(diff, "\n") {
+		name = strings.TrimSpace(name)
+		if name == "" || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if isTimingFile(name) {
+			timingChanged = append(timingChanged, name)
+		}
+	}
+	if len(timingChanged) == 0 {
+		return nil, nil
+	}
+
+	baseVersion, baseOK := versionAt(repoRoot, mergeBase)
+	workVersion, workOK := versionInWorktree(repoRoot)
+	if !workOK {
+		return []Finding{{Message: fmt.Sprintf(
+			"timing-path files changed but %s no longer declares EngineVersion", FingerprintFile)}}, nil
+	}
+	if !baseOK || workVersion != baseVersion {
+		return nil, nil // version bumped (or newly introduced): rule satisfied
+	}
+
+	// Same version: accept an explicit equivalence claim in the range.
+	log, err := git(repoRoot, "log", "--format=%B", mergeBase+"..HEAD")
+	if err != nil {
+		return nil, fmt.Errorf("versionguard: log %s..HEAD: %w", mergeBase, err)
+	}
+	if strings.Contains(log, Marker) {
+		return nil, nil
+	}
+
+	return []Finding{{Message: fmt.Sprintf(
+		"timing-path files changed since merge-base %s (%s) but EngineVersion is still %d; "+
+			"bump sim.EngineVersion in %s if results can differ, or record \"%s\" in a commit "+
+			"message if TestEngineEquivalence proves they cannot",
+		short(mergeBase), strings.Join(timingChanged, ", "), workVersion, FingerprintFile, Marker)}}, nil
+}
+
+// isTimingFile reports whether a repo-relative path lies in a
+// timing-path package directory (direct children only: subpackages of a
+// timing path would be their own entry in TimingPathPackages).
+func isTimingFile(name string) bool {
+	dir := name
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		dir = name[:i]
+	} else {
+		dir = ""
+	}
+	for _, base := range analysis.TimingPathPackages {
+		if dir == base {
+			return true
+		}
+	}
+	return false
+}
+
+// versionAt reads EngineVersion from FingerprintFile at a commit.
+func versionAt(repoRoot, rev string) (int, bool) {
+	out, err := git(repoRoot, "show", rev+":"+FingerprintFile)
+	if err != nil {
+		return 0, false
+	}
+	return parseVersion(out)
+}
+
+// versionInWorktree reads EngineVersion from the on-disk file — the
+// version that would be committed, unstaged edits included.
+func versionInWorktree(repoRoot string) (int, bool) {
+	data, err := os.ReadFile(filepath.Join(repoRoot, filepath.FromSlash(FingerprintFile)))
+	if err != nil {
+		return 0, false
+	}
+	return parseVersion(string(data))
+}
+
+func parseVersion(src string) (int, bool) {
+	m := versionRE.FindStringSubmatch(src)
+	if m == nil {
+		return 0, false
+	}
+	v := 0
+	for _, c := range m[1] {
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+func short(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// git runs one git command in repoRoot and returns its stdout.
+func git(repoRoot string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", repoRoot}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("git %s: %v: %s", strings.Join(args, " "), err,
+				strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", fmt.Errorf("git %s: %w", strings.Join(args, " "), err)
+	}
+	return string(out), nil
+}

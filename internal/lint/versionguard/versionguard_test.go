@@ -1,0 +1,140 @@
+package versionguard_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/versionguard"
+)
+
+const fingerprintV3 = `package sim
+
+// EngineVersion stamps cached results.
+const EngineVersion = 3
+`
+
+const fingerprintV4 = `package sim
+
+// EngineVersion stamps cached results.
+const EngineVersion = 4
+`
+
+// initRepo builds a throwaway repository with the fingerprint file, one
+// timing-path file, and one non-timing file committed on main.
+func initRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	git(t, dir, "init", "-q")
+	git(t, dir, "checkout", "-q", "-b", "main")
+	git(t, dir, "config", "user.email", "test@example.invalid")
+	git(t, dir, "config", "user.name", "test")
+	git(t, dir, "config", "commit.gpgsign", "false")
+	write(t, dir, "internal/sim/fingerprint.go", fingerprintV3)
+	write(t, dir, "internal/memctrl/controller.go", "package memctrl\n\nvar Policy = 1\n")
+	write(t, dir, "README.md", "seed\n")
+	git(t, dir, "add", "-A")
+	git(t, dir, "commit", "-q", "-m", "seed")
+	return dir
+}
+
+func git(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	cmd.Env = append(os.Environ(),
+		"GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null",
+		"GIT_AUTHOR_DATE=2026-01-01T00:00:00Z", "GIT_COMMITTER_DATE=2026-01-01T00:00:00Z")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func check(t *testing.T, dir string) []versionguard.Finding {
+	t.Helper()
+	fs, err := versionguard.Check(dir, "main")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return fs
+}
+
+func TestCleanAtBase(t *testing.T) {
+	dir := initRepo(t)
+	if fs := check(t, dir); len(fs) != 0 {
+		t.Fatalf("expected clean at base, got %v", fs)
+	}
+}
+
+func TestUncommittedTimingChangeFails(t *testing.T) {
+	dir := initRepo(t)
+	git(t, dir, "checkout", "-q", "-b", "work")
+	write(t, dir, "internal/memctrl/controller.go", "package memctrl\n\nvar Policy = 2\n")
+	fs := check(t, dir)
+	if len(fs) != 1 {
+		t.Fatalf("expected 1 finding for uncommitted timing change, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "internal/memctrl/controller.go") ||
+		!strings.Contains(fs[0].Message, "EngineVersion is still 3") {
+		t.Fatalf("finding does not name the file and version: %s", fs[0].Message)
+	}
+}
+
+func TestCommittedTimingChangeFails(t *testing.T) {
+	dir := initRepo(t)
+	git(t, dir, "checkout", "-q", "-b", "work")
+	write(t, dir, "internal/memctrl/controller.go", "package memctrl\n\nvar Policy = 2\n")
+	git(t, dir, "commit", "-qam", "tune policy")
+	if fs := check(t, dir); len(fs) != 1 {
+		t.Fatalf("expected 1 finding, got %v", fs)
+	}
+}
+
+func TestVersionBumpPasses(t *testing.T) {
+	dir := initRepo(t)
+	git(t, dir, "checkout", "-q", "-b", "work")
+	write(t, dir, "internal/memctrl/controller.go", "package memctrl\n\nvar Policy = 2\n")
+	write(t, dir, "internal/sim/fingerprint.go", fingerprintV4)
+	if fs := check(t, dir); len(fs) != 0 {
+		t.Fatalf("expected clean after bump, got %v", fs)
+	}
+}
+
+func TestEquivalenceMarkerPasses(t *testing.T) {
+	dir := initRepo(t)
+	git(t, dir, "checkout", "-q", "-b", "work")
+	write(t, dir, "internal/memctrl/controller.go", "package memctrl\n\nvar Policy = 2\n")
+	git(t, dir, "commit", "-qam", "refactor queue scan\n\nequivalence: unchanged")
+	if fs := check(t, dir); len(fs) != 0 {
+		t.Fatalf("expected clean with marker commit, got %v", fs)
+	}
+}
+
+func TestNonTimingChangePasses(t *testing.T) {
+	dir := initRepo(t)
+	git(t, dir, "checkout", "-q", "-b", "work")
+	write(t, dir, "README.md", "updated\n")
+	write(t, dir, "internal/memctrl/controller_test.go", "package memctrl\n")
+	if fs := check(t, dir); len(fs) != 0 {
+		t.Fatalf("expected clean for docs and test files, got %v", fs)
+	}
+}
+
+func TestUnknownRefErrors(t *testing.T) {
+	dir := initRepo(t)
+	if _, err := versionguard.Check(dir, "no-such-ref"); err == nil {
+		t.Fatal("expected an error for an unknown base ref")
+	}
+}

@@ -88,7 +88,7 @@ func DefaultConfig() Config {
 type Controller struct {
 	ID      int
 	cfg     Config
-	channel *dram.Channel
+	channel *dram.Channel //fglint:preserved wiring only; System.Reset resets the channel itself
 	cache   CacheHook
 
 	readQ   *queue

@@ -42,6 +42,7 @@ type System struct {
 	// latencyLanes maps a fixed cache-level latency to its FIFO lane
 	// scheduler (see LevelScheduler); lanes are bound once at construction
 	// and survive Reset.
+	//fglint:preserved lane bindings are config-determined; eventQueue.reset clears the lanes' state
 	latencyLanes map[int64]*laneScheduler
 }
 
@@ -299,7 +300,7 @@ func (s *System) Hooks() []memctrl.CacheHook { return s.hooks }
 // decodes addresses, buffers requests that do not fit in the controller
 // queues, and converts completion times between clock domains.
 type memAdapter struct {
-	sys     *System
+	sys     *System //fglint:preserved back-pointer; the System resets itself (and this adapter)
 	pending []pendingReq
 	blocked []bool // per-channel head-of-line marker, reused across drains
 	// enqueued[ch] reports whether the latest drain handed channel ch a
@@ -310,6 +311,7 @@ type memAdapter struct {
 	// (Controller.Release points here), so the steady-state access path
 	// allocates nothing: the pool grows to the peak number of in-flight
 	// requests and is reused from then on.
+	//fglint:preserved recycled Requests are fully overwritten by alloc before reuse
 	free []*memctrl.Request
 }
 

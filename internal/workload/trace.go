@@ -233,7 +233,7 @@ func LoadTrace(path string) (*TraceData, error) {
 	e := traceCache.m[path]
 	traceCache.Unlock()
 	statMatch := e != nil && e.size == fi.Size() && e.mtime == fi.ModTime().UnixNano()
-	recent := time.Since(fi.ModTime()).Abs() < mtimeTrustWindow
+	recent := time.Since(fi.ModTime()).Abs() < mtimeTrustWindow //fglint:deterministic trace-file cache freshness at load time; the decoded trace, not the clock, feeds the simulation
 	if statMatch && !recent {
 		return e.td, nil
 	}
