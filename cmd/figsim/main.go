@@ -11,6 +11,19 @@
 //	figsim -preset Base -workload mix-100-0 -insts 200000
 //	figsim -preset FIGCache-Fast -workload trace:mcf.trc
 //	figsim -list
+//
+// Checkpoint/restore: -checkpoint-at N pauses the run once N
+// instructions have retired (summed across cores) and writes the full
+// machine state to -checkpoint-out as an FGSS snapshot, then finishes
+// the run. -restore FILE resumes a snapshotted run instead of starting
+// from cycle zero; the remaining flags must describe the snapshotted
+// configuration exactly (the snapshot header pins the config
+// fingerprint and the engine version, and restore refuses a mismatch).
+// A restored run prints statistics bit-identical to the uninterrupted
+// run — checkpointing is invisible in the results.
+//
+//	figsim -workload mcf -checkpoint-at 200000 -checkpoint-out mcf.fgss
+//	figsim -workload mcf -restore mcf.fgss
 package main
 
 import (
@@ -33,6 +46,12 @@ func main() {
 	insts := flag.Int64("insts", 400_000, "per-core instruction target")
 	seed := flag.Uint64("seed", 1, "trace generation seed")
 	list := flag.Bool("list", false, "list available presets and workloads, then exit")
+	ckptAt := flag.Int64("checkpoint-at", 0,
+		"pause after this many retired instructions (total across cores) and write a snapshot (0 = off)")
+	ckptOut := flag.String("checkpoint-out", "",
+		"snapshot output file for -checkpoint-at")
+	restore := flag.String("restore", "",
+		"resume from a snapshot file instead of starting fresh (config flags must match the snapshot)")
 	flag.Parse()
 
 	if *list {
@@ -56,12 +75,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *restore != "" {
+		if err := restoreSnapshot(system, *restore); err != nil {
+			fatal(err)
+		}
+	}
+	if *ckptAt > 0 {
+		if *ckptOut == "" {
+			fatal(fmt.Errorf("-checkpoint-at needs -checkpoint-out FILE"))
+		}
+		system.RunUntilRetired(*ckptAt)
+		if err := writeSnapshot(system, *ckptOut); err != nil {
+			fatal(err)
+		}
+	}
 	res, err := system.Run()
 	if err != nil {
 		fatal(err)
 	}
 	printResult(system.Config(), res)
 	printLatencyTail(system)
+}
+
+// writeSnapshot checkpoints the system's full state to path.
+func writeSnapshot(system *sim.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := system.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// restoreSnapshot resumes the system from a snapshot file.
+func restoreSnapshot(system *sim.System, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return system.Restore(f)
 }
 
 // printLatencyTail reports sampled read-latency percentiles from the

@@ -123,6 +123,35 @@ func TestCommandsSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("checkpoint-restore-identical-stats", func(t *testing.T) {
+		t.Parallel()
+		args := []string{"-preset", "FIGCache-Fast", "-workload", "mcf", "-insts", "20000"}
+		snap := filepath.Join(workDir, "smoke-ckpt.fgss")
+
+		full := mustRun(t, "figsim", args...)
+		// Checkpoint mid-run, then let the same process finish: statistics
+		// must be untouched by the snapshot detour.
+		ckpt := mustRun(t, "figsim", append([]string{"-checkpoint-at", "7000", "-checkpoint-out", snap}, args...)...)
+		if full != ckpt {
+			t.Errorf("checkpointing changed the statistics:\n--- full\n%s\n--- checkpointed\n%s", full, ckpt)
+		}
+		// A fresh process restored from the snapshot must finish with
+		// byte-identical statistics — the bit-exact resume promise.
+		restored := mustRun(t, "figsim", append([]string{"-restore", snap}, args...)...)
+		if full != restored {
+			t.Errorf("restore diverged from the uninterrupted run:\n--- full\n%s\n--- restored\n%s", full, restored)
+		}
+
+		// A snapshot only restores into the configuration that wrote it.
+		out, err := run(t, "figsim", "-restore", snap, "-preset", "FIGCache-Fast", "-workload", "gcc", "-insts", "20000")
+		if err == nil {
+			t.Fatalf("figsim restored a snapshot into a different workload:\n%s", out)
+		}
+		if !strings.Contains(out, "restore refused") {
+			t.Errorf("mismatched restore did not say why it refused:\n%s", out)
+		}
+	})
+
 	t.Run("text-binary-round-trip", func(t *testing.T) {
 		t.Parallel()
 		trc := filepath.Join(workDir, "smoke-rt.trc")

@@ -47,9 +47,7 @@ func main() {
 				// source row closes and only then commits the cache tags;
 				// this demo has no controller, so the relocation executes
 				// (and commits) immediately.
-				if plan.Commit != nil {
-					plan.Commit()
-				}
+				cache.Commit(plan)
 			}
 		}
 		fmt.Printf("  %-22s row %4d seg %d: miss, %s\n", label, row, block/16, planNote)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/ev"
 	"repro/internal/memctrl"
 )
 
@@ -73,18 +74,16 @@ func hammer(cache memctrl.CacheHook) map[int]int64 {
 	channel.TraceOn = true
 	ctrl := memctrl.NewController(0, memctrl.DefaultConfig(), channel, cache)
 
-	type ev struct {
-		at int64
-		fn func(int64)
-	}
-	var pending []ev
+	// The only tokens the controller schedules here are request
+	// completions, so the replay loop just counts fired tokens.
+	var pending []int64
 	completed := 0
 	issued := 0
 	nextRow := aggressorA
 	for now := int64(0); completed < 2**rounds && now < int64(*rounds)*500; now++ {
 		for i := 0; i < len(pending); {
-			if pending[i].at <= now {
-				pending[i].fn(now)
+			if pending[i] <= now {
+				completed++
 				pending = append(pending[:i], pending[i+1:]...)
 			} else {
 				i++
@@ -101,12 +100,12 @@ func hammer(cache memctrl.CacheHook) map[int]int64 {
 			}
 			ctrl.Enqueue(&memctrl.Request{
 				Loc:        dram.Location{Row: row, Block: (issued / 2) % 16},
-				OnComplete: func(int64) { completed++ },
+				OnComplete: ev.Token{Kind: ev.CoreSlot, Arg: uint64(issued)},
 			}, now)
 			issued++
 		}
-		ctrl.Tick(now, func(at int64, fn func(int64)) {
-			pending = append(pending, ev{at, fn})
+		ctrl.Tick(now, func(at int64, tok ev.Token) {
+			pending = append(pending, at)
 		})
 	}
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/ev"
 	"repro/internal/memctrl"
 )
 
@@ -80,11 +81,9 @@ func probeLatency(victimActive, withFIGCache bool) float64 {
 	}
 	ctrl := memctrl.NewController(0, memctrl.DefaultConfig(), channel, hook)
 
-	type ev struct {
-		at int64
-		fn func(int64)
-	}
-	var pending []ev
+	// The only tokens the controller schedules here are request
+	// completions, so the replay loop just counts fired tokens.
+	var pending []int64
 	step := 0
 	issued, completed := 0, 0
 	total := *probes
@@ -93,8 +92,8 @@ func probeLatency(victimActive, withFIGCache bool) float64 {
 	}
 	for now := int64(0); completed < total && now < int64(total)*600; now++ {
 		for i := 0; i < len(pending); {
-			if pending[i].at <= now {
-				pending[i].fn(now)
+			if pending[i] <= now {
+				completed++
 				pending = append(pending[:i], pending[i+1:]...)
 			} else {
 				i++
@@ -108,12 +107,12 @@ func probeLatency(victimActive, withFIGCache bool) float64 {
 			step++
 			ctrl.Enqueue(&memctrl.Request{
 				Loc:        dram.Location{Row: row, Block: (step / 2) % 16},
-				OnComplete: func(int64) { completed++ },
+				OnComplete: ev.Token{Kind: ev.CoreSlot, Arg: uint64(step)},
 			}, now)
 			issued++
 		}
-		ctrl.Tick(now, func(at int64, fn func(int64)) {
-			pending = append(pending, ev{at, fn})
+		ctrl.Tick(now, func(at int64, tok ev.Token) {
+			pending = append(pending, at)
 		})
 	}
 	// Per-probe latency from the controller's read-latency accounting.

@@ -2,21 +2,26 @@ package cache
 
 import (
 	"fmt"
+
+	"repro/internal/ev"
 )
 
-// Scheduler defers a callback by a number of CPU cycles. The system
-// simulator provides the implementation.
+// Scheduler defers an event token by a number of CPU cycles. The system
+// simulator provides the implementation; it must also be able to
+// execute tokens (ev.Dispatcher), because a cache fill fires its
+// waiters synchronously instead of bouncing them through the queue.
 type Scheduler interface {
-	After(delay int64, fn func(now int64))
+	After(delay int64, tok ev.Token)
+	ev.Dispatcher
 }
 
 // LevelSchedulerFactory is an optional refinement of Scheduler: a
 // scheduler that can hand out a sub-scheduler dedicated to one fixed
 // delay. Every After call a Cache issues uses the same delay (its lookup
-// latency), so its deferred callbacks become due in non-decreasing order
+// latency), so its deferred tokens become due in non-decreasing order
 // — a plain FIFO, which a delay-aware scheduler can service without
 // paying heap push/pop per event. The factory may hand the same
-// sub-scheduler to every caller with the same latency (callbacks from
+// sub-scheduler to every caller with the same latency (tokens from
 // different caches at one delay still become due in schedule order). New
 // unwraps the factory once at construction; plain Schedulers keep
 // working unchanged.
@@ -28,8 +33,9 @@ type LevelSchedulerFactory interface {
 // next cache level or the memory-system adapter.
 type Backend interface {
 	// Request forwards a block fetch (read) or write-back (write).
-	// onDone fires when a fetch completes; it is nil for write-backs.
-	Request(addr uint64, isWrite bool, coreID int, onDone func(now int64))
+	// onDone is dispatched when a fetch completes; it is the zero Token
+	// for write-backs.
+	Request(addr uint64, isWrite bool, coreID int, onDone ev.Token)
 }
 
 // Config describes one cache level.
@@ -71,19 +77,10 @@ type line struct {
 
 type mshr struct {
 	blockAddr uint64
-	waiters   []func(now int64)
+	waiters   []ev.Token
 	// markDirty records that a write merged into this outstanding fetch,
 	// so the filled line starts dirty.
 	markDirty bool
-
-	// startFn issues the downstream fetch after the lookup latency;
-	// fillFn installs the block when the fetch returns. Both are bound
-	// once when the MSHR is first created and capture only the MSHR, so
-	// recycling it through the cache's free list avoids the two closure
-	// allocations every miss would otherwise pay.
-	c       *Cache
-	startFn func(now int64)
-	fillFn  func(now int64)
 }
 
 // Cache is one cache level.
@@ -98,12 +95,20 @@ type Cache struct {
 	shift uint
 	next  Backend   //fglint:preserved wiring, rebound by Hierarchy on construction and reuse alike
 	sched Scheduler //fglint:preserved wiring, rebound by Hierarchy on construction and reuse alike
+	// disp executes waiter tokens synchronously at fill time. Normally
+	// the unwrapped scheduler passed to New; separate field because New
+	// may replace sched with a level sub-scheduler.
+	disp ev.Dispatcher //fglint:preserved wiring, bound once at construction
+	// id is this cache's node ID in its Hierarchy (see Hierarchy.Node):
+	// the identifier MSHRStart/MSHRFill event tokens carry so a restored
+	// run can route them back here. 0 until SetNodeID.
+	id int32 //fglint:preserved topology constant, assigned at Hierarchy construction
 	// Outstanding misses: bounded levels (MSHRs > 0, the per-core L1s)
 	// keep them in a small slice scanned linearly, which beats map
 	// overhead at Table 1's 8 entries; unbounded levels use the map.
 	mshrs  map[uint64]*mshr
 	active []*mshr
-	free   []*mshr // recycled MSHRs, callbacks already bound
+	free   []*mshr //fglint:preserved recycled MSHRs are fully re-initialized by newMSHR before reuse
 	clock  int64
 	coreID int // reported downstream for per-core accounting
 
@@ -120,6 +125,7 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	disp := ev.Dispatcher(sched)
 	if f, ok := sched.(LevelSchedulerFactory); ok {
 		sched = f.LevelScheduler(cfg.Latency)
 	}
@@ -130,6 +136,7 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 		setsN:  uint64(setsN),
 		next:   next,
 		sched:  sched,
+		disp:   disp,
 		coreID: coreID,
 	}
 	if cfg.MSHRs > 0 {
@@ -145,13 +152,21 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	return c, nil
 }
 
+// SetNodeID assigns the cache's node ID — the ID its event tokens carry.
+// NewHierarchy assigns IDs in construction order; standalone caches
+// (tests) keep the zero ID.
+func (c *Cache) SetNodeID(id int32) { c.id = id }
+
+// NodeID returns the cache's node ID.
+func (c *Cache) NodeID() int32 { return c.id }
+
 // Reset invalidates every line and zeroes all counters and outstanding
 // misses, returning the cache to its freshly constructed state while
 // keeping its allocations — the flat line array (the dominant cost of
-// building a hierarchy), the MSHR free list with its pre-bound callbacks,
-// and the set-index geometry. Outstanding MSHRs are recycled without
-// firing their waiters; the caller resets the scheduler that held the
-// corresponding events, so no stale callback can fire afterwards.
+// building a hierarchy), the MSHR free list, and the set-index geometry.
+// Outstanding MSHRs are recycled without firing their waiters; the
+// caller resets the scheduler that held the corresponding events, so no
+// stale token can fire afterwards.
 func (c *Cache) Reset() {
 	clear(c.lines)
 	c.clock = 0
@@ -192,9 +207,9 @@ func (c *Cache) blockAddr(addr uint64) uint64 {
 
 // Access performs a load or store. It returns false when the access
 // cannot be accepted this cycle (MSHRs exhausted); the caller must retry.
-// onDone, if non-nil, fires when the data is available (hits: after the
-// lookup latency; misses: when the fill returns).
-func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
+// onDone, unless zero, is dispatched when the data is available (hits:
+// after the lookup latency; misses: when the fill returns).
+func (c *Cache) Access(addr uint64, isWrite bool, onDone ev.Token) bool {
 	c.clock++
 	if isWrite {
 		c.WriteAcc++
@@ -210,7 +225,7 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 				set[i].dirty = true
 			}
 			c.Hits++
-			if onDone != nil {
+			if !onDone.IsZero() {
 				c.sched.After(c.cfg.Latency, onDone)
 			}
 			return true
@@ -225,7 +240,7 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 		if isWrite {
 			m.markDirty = true
 		}
-		if onDone != nil {
+		if !onDone.IsZero() {
 			m.waiters = append(m.waiters, onDone)
 		}
 		return true
@@ -236,13 +251,20 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone func(now int64)) bool {
 	}
 	c.Misses++
 	m := c.newMSHR(blk, isWrite)
-	if onDone != nil {
+	if !onDone.IsZero() {
 		m.waiters = append(m.waiters, onDone)
 	}
 	c.addMSHR(m)
 	// Fetch after the lookup latency (miss detection time).
-	c.sched.After(c.cfg.Latency, m.startFn)
+	c.sched.After(c.cfg.Latency, ev.Token{Kind: ev.MSHRStart, ID: c.id, Arg: blk})
 	return true
+}
+
+// StartFetch issues the downstream fetch for an outstanding miss: the
+// MSHRStart token scheduled by Access has become due (the lookup latency
+// elapsed, miss detected).
+func (c *Cache) StartFetch(blk uint64) {
+	c.next.Request(blk, false, c.coreID, ev.Token{Kind: ev.MSHRFill, ID: c.id, Arg: blk})
 }
 
 // findMSHR returns the outstanding miss for blk, or nil.
@@ -301,7 +323,7 @@ func (c *Cache) AccountRefused(isWrite bool, n int64) {
 	c.MSHRFullStalls += n
 }
 
-// newMSHR pops a recycled MSHR or builds one with its callbacks bound.
+// newMSHR pops a recycled MSHR or builds a fresh one.
 func (c *Cache) newMSHR(blk uint64, markDirty bool) *mshr {
 	if n := len(c.free); n > 0 {
 		m := c.free[n-1]
@@ -310,10 +332,7 @@ func (c *Cache) newMSHR(blk uint64, markDirty bool) *mshr {
 		m.markDirty = markDirty
 		return m
 	}
-	m := &mshr{blockAddr: blk, markDirty: markDirty, c: c}
-	m.startFn = func(int64) { m.c.next.Request(m.blockAddr, false, m.c.coreID, m.fillFn) }
-	m.fillFn = func(int64) { m.c.fill(m.blockAddr) }
-	return m
+	return &mshr{blockAddr: blk, markDirty: markDirty}
 }
 
 // CanAccept reports whether Access(addr, ...) would be accepted this
@@ -337,9 +356,11 @@ func (c *Cache) CanAccept(addr uint64) bool {
 	return c.findMSHR(c.blockAddr(addr)) != nil
 }
 
-// fill installs a fetched block, evicting the LRU way (write-back if
-// dirty) and waking all waiters.
-func (c *Cache) fill(blk uint64) {
+// Fill installs a fetched block, evicting the LRU way (write-back if
+// dirty) and waking all waiters. Exposed because the MSHRFill token the
+// dispatcher routes here is scheduled by StartFetch's downstream
+// request.
+func (c *Cache) Fill(blk uint64) {
 	setIdx, tag := c.setAndTag(blk)
 	set := c.set(setIdx)
 	victim := 0
@@ -355,7 +376,7 @@ func (c *Cache) fill(blk uint64) {
 	if set[victim].valid && set[victim].dirty {
 		c.WriteBacks++
 		victimAddr := (set[victim].tag*c.setsN + setIdx) << c.shift
-		c.next.Request(victimAddr, true, c.coreID, nil)
+		c.next.Request(victimAddr, true, c.coreID, ev.Token{})
 	}
 	c.clock++
 	m := c.removeMSHR(blk)
@@ -365,12 +386,12 @@ func (c *Cache) fill(blk uint64) {
 	// MSHR) complete, so their order relative to other same-cycle events
 	// is immaterial, and the detour through the event heap costs a
 	// push+pop per miss on the hottest path in the simulator. now is not
-	// threaded through fill; waiters ignore their argument's absolute
-	// value (completion bookkeeping is cycle-exact via the scheduler
-	// events that triggered this fill).
+	// threaded through Fill; waiter actions ignore their argument's
+	// absolute value (completion bookkeeping is cycle-exact via the
+	// scheduler events that triggered this fill).
 	for i, w := range m.waiters {
-		w(0)
-		m.waiters[i] = nil
+		c.disp.Dispatch(w, 0)
+		m.waiters[i] = ev.Token{}
 	}
 	m.waiters = m.waiters[:0]
 	c.free = append(c.free, m)
@@ -378,7 +399,7 @@ func (c *Cache) fill(blk uint64) {
 
 // Request implements Backend, so a Cache can serve as the next level of
 // another Cache: fetches become reads, write-backs become writes.
-func (c *Cache) Request(addr uint64, isWrite bool, coreID int, onDone func(now int64)) {
+func (c *Cache) Request(addr uint64, isWrite bool, coreID int, onDone ev.Token) {
 	// Lower levels are modelled without an MSHR bound (Table 1 specifies
 	// MSHRs only per core); Access never refuses when MSHRs == 0.
 	if !c.Access(addr, isWrite, onDone) {

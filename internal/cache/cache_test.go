@@ -3,22 +3,55 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/ev"
 )
 
-// testSched is a deterministic event scheduler for unit tests.
+// testSched is a deterministic event scheduler and token dispatcher for
+// unit tests. MSHR tokens route back to the cache under test via node;
+// completion tokens invoke the closure registered with tok.
 type testSched struct {
 	now    int64
-	events []struct {
-		at int64
-		fn func(int64)
+	events []tokEvent
+	node   func(id int32) *Cache
+	done   map[uint64]func(int64)
+	nextID uint64
+}
+
+type tokEvent struct {
+	at  int64
+	tok ev.Token
+}
+
+func (s *testSched) After(delay int64, tok ev.Token) {
+	s.events = append(s.events, tokEvent{s.now + delay, tok})
+}
+
+func (s *testSched) Dispatch(tok ev.Token, now int64) {
+	switch tok.Kind {
+	case ev.CoreSlot:
+		if fn := s.done[tok.Arg]; fn != nil {
+			fn(now)
+		}
+	case ev.MSHRStart:
+		s.node(tok.ID).StartFetch(tok.Arg)
+	case ev.MSHRFill:
+		s.node(tok.ID).Fill(tok.Arg)
 	}
 }
 
-func (s *testSched) After(delay int64, fn func(int64)) {
-	s.events = append(s.events, struct {
-		at int64
-		fn func(int64)
-	}{s.now + delay, fn})
+// tok registers fn and returns a completion token that invokes it when
+// dispatched. A nil fn yields the zero token (no completion wanted).
+func (s *testSched) tok(fn func(int64)) ev.Token {
+	if fn == nil {
+		return ev.Token{}
+	}
+	if s.done == nil {
+		s.done = make(map[uint64]func(int64))
+	}
+	s.nextID++
+	s.done[s.nextID] = fn
+	return ev.Token{Kind: ev.CoreSlot, Arg: s.nextID}
 }
 
 // run advances time, firing due events, until none remain or limit cycles
@@ -28,9 +61,9 @@ func (s *testSched) run(limit int64) {
 		fired := false
 		for i := 0; i < len(s.events); {
 			if s.events[i].at <= s.now {
-				fn := s.events[i].fn
+				tok := s.events[i].tok
 				s.events = append(s.events[:i], s.events[i+1:]...)
-				fn(s.now)
+				s.Dispatch(tok, s.now)
 				fired = true
 			} else {
 				i++
@@ -52,18 +85,16 @@ type memStub struct {
 	addrs   []uint64
 }
 
-func (m *memStub) Request(addr uint64, isWrite bool, coreID int, onDone func(int64)) {
+func (m *memStub) Request(addr uint64, isWrite bool, coreID int, onDone ev.Token) {
 	m.addrs = append(m.addrs, addr)
 	if isWrite {
 		m.writes++
 		return
 	}
 	m.reads++
-	m.sched.After(m.latency, func(now int64) {
-		if onDone != nil {
-			onDone(now)
-		}
-	})
+	if !onDone.IsZero() {
+		m.sched.After(m.latency, onDone)
+	}
 }
 
 func smallCfg() Config {
@@ -78,6 +109,7 @@ func newTestCache(t *testing.T, cfg Config) (*Cache, *memStub, *testSched) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.node = func(int32) *Cache { return c }
 	return c, m, s
 }
 
@@ -100,7 +132,7 @@ func TestConfigValidate(t *testing.T) {
 func TestMissThenHit(t *testing.T) {
 	c, m, s := newTestCache(t, smallCfg())
 	var firstDone, secondDone int64
-	if !c.Access(0x1000, false, func(at int64) { firstDone = at + 1 }) {
+	if !c.Access(0x1000, false, s.tok(func(at int64) { firstDone = at + 1 })) {
 		t.Fatal("first access refused")
 	}
 	s.run(1000)
@@ -110,7 +142,7 @@ func TestMissThenHit(t *testing.T) {
 	if m.reads != 1 {
 		t.Fatalf("backend reads = %d, want 1", m.reads)
 	}
-	if !c.Access(0x1000, false, func(at int64) { secondDone = at + 1 }) {
+	if !c.Access(0x1000, false, s.tok(func(at int64) { secondDone = at + 1 })) {
 		t.Fatal("second access refused")
 	}
 	s.run(1000)
@@ -129,7 +161,7 @@ func TestMSHRMergesSameBlock(t *testing.T) {
 	c, m, s := newTestCache(t, smallCfg())
 	done := 0
 	for i := 0; i < 3; i++ {
-		if !c.Access(0x2000+uint64(i*8), false, func(int64) { done++ }) {
+		if !c.Access(0x2000+uint64(i*8), false, s.tok(func(int64) { done++ })) {
 			t.Fatalf("access %d refused", i)
 		}
 	}
@@ -148,11 +180,11 @@ func TestMSHRMergesSameBlock(t *testing.T) {
 func TestMSHRLimitRefuses(t *testing.T) {
 	c, _, _ := newTestCache(t, smallCfg())
 	for i := 0; i < 4; i++ {
-		if !c.Access(uint64(i)*0x1000, false, nil) {
+		if !c.Access(uint64(i)*0x1000, false, ev.Token{}) {
 			t.Fatalf("access %d refused below MSHR limit", i)
 		}
 	}
-	if c.Access(0x9000, false, nil) {
+	if c.Access(0x9000, false, ev.Token{}) {
 		t.Error("access accepted beyond MSHR limit")
 	}
 	if c.MSHRFullStalls != 1 {
@@ -164,12 +196,12 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 	cfg := smallCfg()
 	c, m, s := newTestCache(t, cfg)
 	// Fill both ways of set 0 (set count = 1024/128 = 8; stride 8*64=512).
-	c.Access(0x0000, true, nil) // write-allocates, dirty
+	c.Access(0x0000, true, ev.Token{}) // write-allocates, dirty
 	s.run(1000)
-	c.Access(0x0200, false, nil)
+	c.Access(0x0200, false, ev.Token{})
 	s.run(1000)
 	// Third block in the same set evicts the LRU (0x0000, dirty).
-	c.Access(0x0400, false, nil)
+	c.Access(0x0400, false, ev.Token{})
 	s.run(1000)
 	if c.WriteBacks != 1 {
 		t.Fatalf("WriteBacks = %d, want 1", c.WriteBacks)
@@ -188,7 +220,7 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 		t.Errorf("write-back address missing: %#x", m.addrs)
 	}
 	// Re-access of the evicted block misses again.
-	c.Access(0x0000, false, nil)
+	c.Access(0x0000, false, ev.Token{})
 	s.run(1000)
 	if c.Misses != 4 {
 		t.Errorf("Misses = %d, want 4", c.Misses)
@@ -197,16 +229,16 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 
 func TestLRUOrdering(t *testing.T) {
 	c, _, s := newTestCache(t, smallCfg())
-	c.Access(0x0000, false, nil)
+	c.Access(0x0000, false, ev.Token{})
 	s.run(1000)
-	c.Access(0x0200, false, nil)
+	c.Access(0x0200, false, ev.Token{})
 	s.run(1000)
 	// Touch 0x0000 so 0x0200 becomes LRU.
-	c.Access(0x0000, false, nil)
+	c.Access(0x0000, false, ev.Token{})
 	s.run(1000)
-	c.Access(0x0400, false, nil) // evicts 0x0200
+	c.Access(0x0400, false, ev.Token{}) // evicts 0x0200
 	s.run(1000)
-	c.Access(0x0000, false, nil) // must still hit
+	c.Access(0x0000, false, ev.Token{}) // must still hit
 	s.run(1000)
 	if c.Hits != 2 {
 		t.Errorf("Hits = %d, want 2 (touch + re-access)", c.Hits)
@@ -215,13 +247,13 @@ func TestLRUOrdering(t *testing.T) {
 
 func TestWriteMergeIntoOutstandingFetchMarksDirty(t *testing.T) {
 	c, m, s := newTestCache(t, smallCfg())
-	c.Access(0x0000, false, nil)
-	c.Access(0x0000, true, nil) // merges, marks dirty
+	c.Access(0x0000, false, ev.Token{})
+	c.Access(0x0000, true, ev.Token{}) // merges, marks dirty
 	s.run(1000)
 	// Evict it via two more blocks in set 0; must write back.
-	c.Access(0x0200, false, nil)
+	c.Access(0x0200, false, ev.Token{})
 	s.run(1000)
-	c.Access(0x0400, false, nil)
+	c.Access(0x0400, false, ev.Token{})
 	s.run(1000)
 	if m.writes != 1 {
 		t.Errorf("backend writes = %d, want 1 (merged write dirtied the line)", m.writes)
@@ -235,11 +267,12 @@ func TestHierarchyPropagatesMisses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.node = h.Node
 	if len(h.L1s) != 2 || len(h.L2s) != 2 {
 		t.Fatalf("hierarchy has %d L1s / %d L2s, want 2/2", len(h.L1s), len(h.L2s))
 	}
 	done := false
-	h.L1s[0].Access(0xABC000, false, func(int64) { done = true })
+	h.L1s[0].Access(0xABC000, false, s.tok(func(int64) { done = true }))
 	s.run(5000)
 	if !done {
 		t.Fatal("access never completed through the hierarchy")
@@ -253,7 +286,7 @@ func TestHierarchyPropagatesMisses(t *testing.T) {
 	}
 	// A second access from the other core hits in the shared LLC.
 	done = false
-	h.L1s[1].Access(0xABC000, false, func(int64) { done = true })
+	h.L1s[1].Access(0xABC000, false, s.tok(func(int64) { done = true }))
 	s.run(5000)
 	if !done {
 		t.Fatal("cross-core access never completed")
@@ -273,8 +306,9 @@ func TestLLCMPKI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.node = h.Node
 	for i := 0; i < 10; i++ {
-		h.L1s[0].Access(uint64(i)*1<<20, false, nil)
+		h.L1s[0].Access(uint64(i)*1<<20, false, ev.Token{})
 		s.run(1000)
 	}
 	if got := h.LLCMPKI(1000); got != 10 {
@@ -292,9 +326,10 @@ func TestPropertyCacheAccounting(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		s.node = func(int32) *Cache { return c }
 		accepted := int64(0)
 		for _, a := range addrs {
-			if c.Access(uint64(a), a%5 == 0, nil) {
+			if c.Access(uint64(a), a%5 == 0, ev.Token{}) {
 				accepted++
 			}
 			s.run(100)

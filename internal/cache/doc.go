@@ -12,4 +12,8 @@
 // The hierarchy is on the simulator's zero-allocation steady-state path:
 // lines live in one flat, pointer-free array per cache and MSHRs are
 // pooled, which BenchmarkAccessPathAllocs enforces.
+//
+// Hierarchy.Snapshot/Restore (snapshot.go) serialize every cache's tag
+// and LRU state plus in-flight MSHRs for the system checkpoint
+// lifecycle (sim.System.Snapshot).
 package cache

@@ -23,11 +23,16 @@ func DefaultHierarchyConfig(cores int) HierarchyConfig {
 }
 
 // Hierarchy wires per-core L1+L2 caches to a shared LLC over a memory
-// backend.
+// backend. It also acts as the cache node registry: every level gets a
+// dense node ID in construction order (LLC first, then each core's L2
+// and L1), the identifier MSHR event tokens carry so the dispatcher —
+// and a restored checkpoint — can route them back to their cache.
 type Hierarchy struct {
 	L1s []*Cache
 	L2s []*Cache
 	LLC *Cache
+
+	nodes []*Cache //fglint:preserved topology registry, fixed at construction
 }
 
 // NewHierarchy builds the hierarchy on top of mem.
@@ -40,6 +45,7 @@ func NewHierarchy(cfg HierarchyConfig, mem Backend, sched Scheduler) (*Hierarchy
 		return nil, err
 	}
 	h := &Hierarchy{LLC: llc}
+	h.register(llc)
 	for i := 0; i < cfg.Cores; i++ {
 		l2cfg := cfg.L2
 		l2cfg.Name = fmt.Sprintf("L2.%d", i)
@@ -53,11 +59,25 @@ func NewHierarchy(cfg HierarchyConfig, mem Backend, sched Scheduler) (*Hierarchy
 		if err != nil {
 			return nil, err
 		}
+		h.register(l2)
+		h.register(l1)
 		h.L1s = append(h.L1s, l1)
 		h.L2s = append(h.L2s, l2)
 	}
 	return h, nil
 }
+
+// register assigns the next node ID to c.
+func (h *Hierarchy) register(c *Cache) {
+	c.SetNodeID(int32(len(h.nodes)))
+	h.nodes = append(h.nodes, c)
+}
+
+// Node returns the cache with the given node ID.
+func (h *Hierarchy) Node(id int32) *Cache { return h.nodes[id] }
+
+// Nodes returns every cache level in node-ID order.
+func (h *Hierarchy) Nodes() []*Cache { return h.nodes }
 
 // Reset invalidates and zeroes every level, keeping all allocations (see
 // Cache.Reset). The hierarchy's shape — core count, level sizes — is

@@ -23,4 +23,8 @@
 // The timing integration with the memory controller goes through
 // memctrl.CacheHook; this package owns all cache metadata and policy
 // decisions, while the controller and internal/dram charge the cycles.
+//
+// FIGCache.Snapshot/Restore and LISAVilla.Snapshot/Restore
+// (snapshot.go) serialize the tag stores, replacement state, and hot
+// counters for the system checkpoint lifecycle (sim.System.Snapshot).
 package core

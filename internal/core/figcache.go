@@ -270,12 +270,19 @@ func (c *FIGCache) Insert(ch *dram.Channel, loc dram.Location, now int64) *memct
 	c.Insertions++
 	return &memctrl.RelocPlan{
 		Loc: loc, Cost: cost, Blocks: blocks, ChannelWide: psm,
-		Commit: func() {
-			delete(bank.inflight, key)
-			bank.fts.Unreserve(slot)
-			bank.fts.Install(slot, loc.Row, seg, false)
-		},
+		CommitBank: loc.BankID(c.geo), CommitSlot: slot,
+		CommitRow: loc.Row, CommitSeg: seg,
 	}
+}
+
+// Commit implements memctrl.CacheHook: install the tag for a plan Insert
+// returned, clearing its reservation. Called by the controller when the
+// relocation executes.
+func (c *FIGCache) Commit(p *memctrl.RelocPlan) {
+	bank := c.banks[p.CommitBank]
+	delete(bank.inflight, makeSegKey(p.CommitRow, p.CommitSeg))
+	bank.fts.Unreserve(p.CommitSlot)
+	bank.fts.Install(p.CommitSlot, p.CommitRow, p.CommitSeg, false)
 }
 
 // HitRate returns the aggregate in-DRAM cache hit rate.

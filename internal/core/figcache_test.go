@@ -39,8 +39,8 @@ func newTestFIGCache(t *testing.T, mutate func(*FIGCacheConfig)) (*FIGCache, *dr
 // the controller executing the relocation right away.
 func insertNow(fc *FIGCache, ch *dram.Channel, loc dram.Location) *memctrl.RelocPlan {
 	plan := fc.Insert(ch, loc, 0)
-	if plan != nil && plan.Commit != nil {
-		plan.Commit()
+	if plan != nil {
+		fc.Commit(plan)
 	}
 	return plan
 }

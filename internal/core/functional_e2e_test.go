@@ -118,7 +118,7 @@ func TestFunctionalEndToEnd(t *testing.T) {
 				// determines the destination cache row and column.
 				fts := fc.FTSForBank(0)
 				slot := -1
-				plan.Commit()
+				fc.Commit(plan)
 				if s, ok := fts.Lookup(loc.Row, loc.Block/segBlocks, false); ok {
 					slot = s
 				} else {

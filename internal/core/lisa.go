@@ -242,15 +242,19 @@ func (l *LISAVilla) Insert(ch *dram.Channel, loc dram.Location, now int64) *memc
 	bank.rows[slot] = lisaRow{srcRow: -1}
 	l.Insertions++
 	l.TotalHops += int64(hops)
-	row, theSlot := loc.Row, slot
 	return &memctrl.RelocPlan{Loc: loc, Cost: cost, Hops: hops, IsLISA: true,
-		Commit: func() {
-			delete(bank.inflight, row)
-			bank.clock++
-			bank.rows[theSlot] = lisaRow{srcRow: row, valid: true, lastUse: bank.clock}
-			bank.index[row] = theSlot
-		},
+		CommitBank: loc.BankID(l.geo), CommitSlot: slot, CommitRow: loc.Row,
 	}
+}
+
+// Commit implements memctrl.CacheHook: install the cache-row tag for a
+// plan Insert returned, clearing its reservation.
+func (l *LISAVilla) Commit(p *memctrl.RelocPlan) {
+	bank := l.banks[p.CommitBank]
+	delete(bank.inflight, p.CommitRow)
+	bank.clock++
+	bank.rows[p.CommitSlot] = lisaRow{srcRow: p.CommitRow, valid: true, lastUse: bank.clock}
+	bank.index[p.CommitRow] = p.CommitSlot
 }
 
 // HitRate returns the aggregate in-DRAM cache hit rate.

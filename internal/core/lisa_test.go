@@ -21,8 +21,8 @@ func newTestLISA(t *testing.T) (*LISAVilla, *dram.Channel) {
 // lisaInsertNow performs an insertion and immediately commits it.
 func lisaInsertNow(l *LISAVilla, ch *dram.Channel, loc dram.Location) *memctrl.RelocPlan {
 	plan := l.Insert(ch, loc, 0)
-	if plan != nil && plan.Commit != nil {
-		plan.Commit()
+	if plan != nil {
+		l.Commit(plan)
 	}
 	return plan
 }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fgss"
+)
+
+// sortedKeys returns a map's keys in ascending order, so snapshot
+// output is byte-identical across runs regardless of map iteration
+// order.
+func sortedKeys[K ~int | ~uint64, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//fglint:deterministic keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Snapshot appends the tag store's mutable state: every entry, the
+// logical clock, in-flight reservations, and hit/miss counters. The
+// index and row aggregates are derived and rebuilt on restore.
+func (f *FTS) Snapshot(w *fgss.Writer) {
+	w.Int(len(f.entries))
+	for i := range f.entries {
+		e := &f.entries[i]
+		w.U64(uint64(e.key))
+		w.Bool(e.valid)
+		w.Bool(e.dirty)
+		w.U64(uint64(e.benefit))
+		w.I64(e.lastUse)
+	}
+	w.I64(f.clock)
+	w.Int(len(f.reserved))
+	for _, slot := range sortedKeys(f.reserved) {
+		w.Int(slot)
+	}
+	w.I64(f.Hits)
+	w.I64(f.Misses)
+}
+
+// Restore reads back what Snapshot wrote and rebuilds the tag index
+// and, when attached, the incremental row aggregates. The receiver
+// must have the snapshotted slot count (a mismatch stops decoding).
+func (f *FTS) Restore(r *fgss.Reader) {
+	n := r.Int()
+	if n != len(f.entries) {
+		return
+	}
+	clear(f.index)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := &f.entries[i]
+		e.key = segKey(r.U64())
+		e.valid = r.Bool()
+		e.dirty = r.Bool()
+		e.benefit = uint8(r.U64())
+		e.lastUse = r.I64()
+		if e.valid {
+			f.index[e.key] = i
+		}
+	}
+	f.clock = r.I64()
+	clear(f.reserved)
+	nres := r.Int()
+	for i := 0; i < nres && r.Err() == nil; i++ {
+		f.reserved[r.Int()] = true
+	}
+	f.Hits = r.I64()
+	f.Misses = r.I64()
+	if f.rowIndex != nil {
+		// SetRowIndex re-derives the per-row benefit sums and dirty
+		// bitvectors from the restored entries; the dimensions cannot
+		// mismatch because the index was attached to this same FTS.
+		_ = f.SetRowIndex(f.rowIndex)
+	}
+}
+
+// snapshot appends the replacement policy's mutable state: the
+// draining-row register, its eviction bitvector, and the PRNG.
+func (r *replacer) snapshot(w *fgss.Writer) {
+	w.Int(r.evictRow)
+	w.U64(r.evictMask)
+	w.Bool(r.draining)
+	w.U64(uint64(r.rng))
+}
+
+func (r *replacer) restore(rd *fgss.Reader) {
+	r.evictRow = rd.Int()
+	r.evictMask = rd.U64()
+	r.draining = rd.Bool()
+	r.rng = splitmix64(rd.U64())
+}
+
+// Snapshot appends the cache's full mutable state, bank by bank: tag
+// store, replacement state, threshold miss counters, in-flight
+// insertion markers, then the aggregate counters. Maps are emitted in
+// sorted-key order for deterministic output.
+func (c *FIGCache) Snapshot(w *fgss.Writer) {
+	w.Int(len(c.banks))
+	for _, b := range c.banks {
+		b.fts.Snapshot(w)
+		b.repl.snapshot(w)
+		w.Int(len(b.missCounts))
+		for _, k := range sortedKeys(b.missCounts) {
+			w.U64(uint64(k))
+			w.Int(b.missCounts[k])
+		}
+		w.Int(len(b.inflight))
+		for _, k := range sortedKeys(b.inflight) {
+			w.U64(uint64(k))
+		}
+	}
+	w.I64(c.Insertions)
+	w.I64(c.Evictions)
+	w.I64(c.WriteBacks)
+	w.I64(c.ThrottledBy)
+}
+
+// Restore reads back what Snapshot wrote. The receiver must be built
+// from the same configuration (bank count mismatch stops decoding).
+func (c *FIGCache) Restore(r *fgss.Reader) {
+	if r.Int() != len(c.banks) {
+		return
+	}
+	for _, b := range c.banks {
+		b.fts.Restore(r)
+		b.repl.restore(r)
+		clear(b.missCounts)
+		n := r.Int()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			k := segKey(r.U64())
+			b.missCounts[k] = r.Int()
+		}
+		clear(b.inflight)
+		n = r.Int()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			b.inflight[segKey(r.U64())] = true
+		}
+	}
+	c.Insertions = r.I64()
+	c.Evictions = r.I64()
+	c.WriteBacks = r.I64()
+	c.ThrottledBy = r.I64()
+}
+
+// Snapshot appends the baseline cache's mutable state, bank by bank:
+// cache-row entries, in-flight markers, hot-row counters, and the
+// epoch/clock/hit state, then the aggregate counters.
+func (l *LISAVilla) Snapshot(w *fgss.Writer) {
+	w.Int(len(l.banks))
+	for _, b := range l.banks {
+		w.Int(len(b.rows))
+		for i := range b.rows {
+			row := &b.rows[i]
+			w.Int(row.srcRow)
+			w.Bool(row.valid)
+			w.Bool(row.dirty)
+			w.I64(row.lastUse)
+		}
+		w.Int(len(b.inflight))
+		for _, k := range sortedKeys(b.inflight) {
+			w.Int(k)
+		}
+		w.Int(len(b.hot))
+		for _, k := range sortedKeys(b.hot) {
+			w.Int(k)
+			w.Int(b.hot[k])
+		}
+		w.Int(b.missesEpoch)
+		w.I64(b.clock)
+		w.I64(b.hits)
+		w.I64(b.misses)
+	}
+	w.I64(l.Insertions)
+	w.I64(l.Evictions)
+	w.I64(l.WriteBacks)
+	w.I64(l.TotalHops)
+}
+
+// Restore reads back what Snapshot wrote and rebuilds each bank's
+// source-row index from the valid cache rows. The receiver must be
+// built from the same configuration.
+func (l *LISAVilla) Restore(r *fgss.Reader) {
+	if r.Int() != len(l.banks) {
+		return
+	}
+	for _, b := range l.banks {
+		if r.Int() != len(b.rows) {
+			return
+		}
+		clear(b.index)
+		for i := 0; i < len(b.rows) && r.Err() == nil; i++ {
+			row := &b.rows[i]
+			row.srcRow = r.Int()
+			row.valid = r.Bool()
+			row.dirty = r.Bool()
+			row.lastUse = r.I64()
+			if row.valid {
+				b.index[row.srcRow] = i
+			}
+		}
+		clear(b.inflight)
+		n := r.Int()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			b.inflight[r.Int()] = true
+		}
+		clear(b.hot)
+		n = r.Int()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			k := r.Int()
+			b.hot[k] = r.Int()
+		}
+		b.missesEpoch = r.Int()
+		b.clock = r.I64()
+		b.hits = r.I64()
+		b.misses = r.I64()
+	}
+	l.Insertions = r.I64()
+	l.Evictions = r.I64()
+	l.WriteBacks = r.I64()
+	l.TotalHops = r.I64()
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cache"
+	"repro/internal/ev"
 )
 
 // TraceRecord is one unit of a core's instruction trace: Bubbles
@@ -47,8 +48,8 @@ type Core struct {
 	ID  int
 	cfg Config
 
-	trace TraceReader
-	l1    *cache.Cache //fglint:preserved wiring only; the cache's own state is reset by Hierarchy.Reset
+	trace TraceReader  //fglint:preserved the cursor is checkpointed by the system layer (trace section), which knows the concrete reader type
+	l1    *cache.Cache //fglint:preserved wiring only; the cache's own state is reset by Hierarchy.Reset and checkpointed by Hierarchy.Snapshot
 
 	// Instruction window: a ring buffer of completion flags. done[i]
 	// marks the entry ready to retire. epoch[i] disambiguates reuse of a
@@ -61,11 +62,11 @@ type Core struct {
 	count int
 
 	// issueEp[i] is the epoch the in-flight load in slot i was issued
-	// with, and onDone[i] its completion callback. The callbacks are
-	// created once per slot at construction (each captures only its slot
-	// index), so issuing a load does not allocate a closure.
+	// with. A load's completion is the CoreSlot event token carrying this
+	// core's ID and the slot index; CompleteSlot compares the slot's
+	// current epoch against issueEp to reject a stale completion after
+	// the entry retired and the slot was reused.
 	issueEp []int64
-	onDone  []func(now int64)
 
 	pending    TraceRecord
 	hasPending bool
@@ -113,30 +114,30 @@ func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int
 		done:        make([]bool, cfg.WindowSize),
 		epoch:       make([]int64, cfg.WindowSize),
 		issueEp:     make([]int64, cfg.WindowSize),
-		onDone:      make([]func(now int64), cfg.WindowSize),
 		TargetInsts: targetInsts,
 	}
-	for i := range c.onDone {
-		slot := i
-		c.onDone[i] = func(int64) {
-			if c.epoch[slot] == c.issueEp[slot] && !c.done[slot] {
-				c.done[slot] = true
-				c.pendingFills--
-				c.extendAvail(slot)
-			}
-		}
-	}
 	return c, nil
+}
+
+// CompleteSlot marks the load occupying `slot` done — the action of the
+// CoreSlot event token issued with it. The epoch guard rejects a stale
+// completion: valid only while the slot's epoch still matches the epoch
+// recorded at issue (a reused slot has a different epoch).
+func (c *Core) CompleteSlot(slot int) {
+	if c.epoch[slot] == c.issueEp[slot] && !c.done[slot] {
+		c.done[slot] = true
+		c.pendingFills--
+		c.extendAvail(slot)
+	}
 }
 
 // Reset rebinds the core to a new trace and retire target and clears all
 // execution state — window, epochs, pending record, progress, stall
 // counters — returning it to the state New would produce. The window
-// arrays and the per-slot completion callbacks (which capture only the
-// core and their slot index) are reused, so reuse across runs allocates
-// nothing. cfg must equal the configuration the core was built with: the
-// window arrays are sized by it. The caller must have discarded any
-// scheduler events still holding the old run's callbacks.
+// arrays are reused, so reuse across runs allocates nothing. cfg must
+// equal the configuration the core was built with: the window arrays are
+// sized by it. The caller must have discarded any scheduler events still
+// holding the old run's completion tokens.
 func (c *Core) Reset(cfg Config, trace TraceReader, targetInsts int64) error {
 	if cfg != c.cfg {
 		return fmt.Errorf("cpu: Reset config %+v does not match construction config %+v", cfg, c.cfg)
@@ -216,19 +217,20 @@ func (c *Core) Tick(now int64) {
 		if c.pending.IsWrite {
 			// Stores retire immediately; the write continues through the
 			// hierarchy in the background.
-			if !c.l1.Access(c.pending.Addr, true, nil) {
+			if !c.l1.Access(c.pending.Addr, true, ev.Token{}) {
 				c.StoreStalls++
 				return // retry next cycle
 			}
 			c.insert(true)
 		} else {
-			// The completion callback is valid while the slot's epoch
-			// still matches the epoch recorded at issue; a late fire
-			// after the entry retired and the slot was reused finds a
-			// different epoch and is ignored.
+			// The completion token is valid while the slot's epoch still
+			// matches the epoch recorded at issue; a late dispatch after
+			// the entry retired and the slot was reused finds a different
+			// epoch and is ignored (see CompleteSlot).
 			slot := c.tail
 			c.issueEp[slot] = c.epoch[slot] + 1
-			if !c.l1.Access(c.pending.Addr, false, c.onDone[slot]) {
+			tok := ev.Token{Kind: ev.CoreSlot, ID: int32(c.ID), Arg: uint64(slot)}
+			if !c.l1.Access(c.pending.Addr, false, tok) {
 				c.LoadStalls++
 				return
 			}
@@ -433,7 +435,7 @@ func (c *Core) advanceAllDone(now, cycles int64) {
 
 // advanceInFlight applies `cycles` bubble cycles while loads are in
 // flight. Here the not-done entries pin absolute ring positions (their
-// completion callbacks write their physical slots), so the ring is
+// completion tokens name their physical slots), so the ring is
 // updated exactly as the dense per-cycle loop would: retired entries
 // are cleared off the head, issued bubbles inserted at the tail.
 func (c *Core) advanceInFlight(now, cycles int64) {
@@ -471,7 +473,7 @@ func (c *Core) advanceInFlight(now, cycles int64) {
 	// pendingFills/avail bookkeeping per entry; here every entry is a
 	// completed bubble behind a pending load, so only the done flags need
 	// writing. The epoch bump is skipped too: epochs disambiguate slot
-	// reuse for *load* completion callbacks, every callback fires exactly
+	// reuse for *load* completion tokens, every token fires exactly
 	// once before its entry can retire, and the `!done` guard already
 	// rejects a (hypothetical) stale fire while a bubble occupies the
 	// slot — a bubble entry is done for its whole residence. Epoch values

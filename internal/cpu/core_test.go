@@ -5,30 +5,45 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/ev"
 )
 
-// sched is a minimal event scheduler shared by the test fixtures.
+// sched is a minimal event scheduler and token dispatcher shared by the
+// test fixtures: MSHR tokens route to the single L1 under test, core-slot
+// tokens to the single core.
 type sched struct {
 	now    int64
-	events []struct {
-		at int64
-		fn func(int64)
-	}
+	events []tokEvent
+	l1     *cache.Cache
+	core   *Core
 }
 
-func (s *sched) After(delay int64, fn func(int64)) {
-	s.events = append(s.events, struct {
-		at int64
-		fn func(int64)
-	}{s.now + delay, fn})
+type tokEvent struct {
+	at  int64
+	tok ev.Token
+}
+
+func (s *sched) After(delay int64, tok ev.Token) {
+	s.events = append(s.events, tokEvent{s.now + delay, tok})
+}
+
+func (s *sched) Dispatch(tok ev.Token, now int64) {
+	switch tok.Kind {
+	case ev.CoreSlot:
+		s.core.CompleteSlot(int(tok.Arg))
+	case ev.MSHRStart:
+		s.l1.StartFetch(tok.Arg)
+	case ev.MSHRFill:
+		s.l1.Fill(tok.Arg)
+	}
 }
 
 func (s *sched) fire() {
 	for i := 0; i < len(s.events); {
 		if s.events[i].at <= s.now {
-			fn := s.events[i].fn
+			tok := s.events[i].tok
 			s.events = append(s.events[:i], s.events[i+1:]...)
-			fn(s.now)
+			s.Dispatch(tok, s.now)
 		} else {
 			i++
 		}
@@ -42,9 +57,9 @@ type fixedMem struct {
 	reqs    int
 }
 
-func (m *fixedMem) Request(addr uint64, isWrite bool, coreID int, onDone func(int64)) {
+func (m *fixedMem) Request(addr uint64, isWrite bool, coreID int, onDone ev.Token) {
 	m.reqs++
-	if onDone == nil {
+	if onDone.IsZero() {
 		return
 	}
 	m.s.After(m.latency, onDone)
@@ -76,6 +91,7 @@ func newCore(t *testing.T, recs []TraceRecord, memLatency int64, target int64) (
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.l1, s.core = l1, c
 	return c, s, m
 }
 
@@ -511,8 +527,8 @@ func TestAdvanceInFlightMatchesDenseTicks(t *testing.T) {
 		// Cap the batch at the twins' next scheduled event, as the run
 		// loop would.
 		span := batched.BatchableCycles()
-		for _, ev := range s.events {
-			if h := ev.at - now; h < span {
+		for _, e := range s.events {
+			if h := e.at - now; h < span {
 				span = h
 			}
 		}

@@ -15,4 +15,9 @@
 // form instead of cycle by cycle. AccountSkipped credits the stall
 // counters the dense reference loop would have recorded, keeping both
 // engines bit-identical (TestEngineEquivalence).
+//
+// Core.Snapshot/Restore (snapshot.go) serialize the window ring, issue
+// state, and per-core statistics for the system checkpoint lifecycle;
+// the trace cursor itself is checkpointed by the system layer, which
+// knows the concrete reader type (TraceReader exposes it).
 package cpu

@@ -1,0 +1,62 @@
+package cpu
+
+import "repro/internal/fgss"
+
+// TraceReader returns the core's trace source, so the system layer can
+// checkpoint the stream position alongside the core.
+func (c *Core) TraceReader() TraceReader { return c.trace }
+
+// Snapshot appends the core's full execution state: the instruction
+// window ring (completion flags, slot epochs, issue epochs), the
+// buffered trace record, progress, and stall counters. TargetInsts is
+// configuration and does not travel in the snapshot.
+func (c *Core) Snapshot(w *fgss.Writer) {
+	w.Int(len(c.done))
+	for i := range c.done {
+		w.Bool(c.done[i])
+		w.I64(c.epoch[i])
+		w.I64(c.issueEp[i])
+	}
+	w.Int(c.head)
+	w.Int(c.tail)
+	w.Int(c.count)
+	w.Int(c.pending.Bubbles)
+	w.U64(c.pending.Addr)
+	w.Bool(c.pending.IsWrite)
+	w.Bool(c.hasPending)
+	w.Int(c.pendingFills)
+	w.Int(c.avail)
+	w.I64(c.Retired)
+	w.I64(c.FinishedAt)
+	w.I64(c.LoadStalls)
+	w.I64(c.StoreStalls)
+	w.I64(c.WindowFull)
+}
+
+// Restore reads back what Snapshot wrote. The receiver must be built
+// with the snapshotted window size (a mismatch stops decoding).
+func (c *Core) Restore(r *fgss.Reader) {
+	n := r.Int()
+	if n != len(c.done) {
+		return
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		c.done[i] = r.Bool()
+		c.epoch[i] = r.I64()
+		c.issueEp[i] = r.I64()
+	}
+	c.head = r.Int()
+	c.tail = r.Int()
+	c.count = r.Int()
+	c.pending.Bubbles = r.Int()
+	c.pending.Addr = r.U64()
+	c.pending.IsWrite = r.Bool()
+	c.hasPending = r.Bool()
+	c.pendingFills = r.Int()
+	c.avail = r.Int()
+	c.Retired = r.I64()
+	c.FinishedAt = r.I64()
+	c.LoadStalls = r.I64()
+	c.StoreStalls = r.I64()
+	c.WindowFull = r.I64()
+}

@@ -36,7 +36,7 @@ type Channel struct {
 	colReadyL []int64
 
 	// Trace, if enabled, records every issued command (tests/debugging).
-	Trace        []CommandTrace
+	Trace        []CommandTrace //fglint:preserved debug-only command log; sim runs never enable it, so no checkpoint carries one
 	TraceOn      bool
 	NumREF       int64
 	RelocBusy    int64 // bus cycles banks spent occupied by relocation work

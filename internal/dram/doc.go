@@ -19,4 +19,8 @@
 //
 // Time inside this package is measured in DRAM bus clock cycles (nCK).
 // For DDR4-1600 the bus clock is 800 MHz, so one cycle is 1.25 ns.
+//
+// Channel.Snapshot/Restore (snapshot.go) serialize per-bank timing
+// windows, open rows, and counters for the system checkpoint lifecycle
+// (sim.System.Snapshot).
 package dram

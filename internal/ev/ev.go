@@ -1,0 +1,58 @@
+// Package ev defines the serializable event token that replaces
+// in-flight closures throughout the simulator.
+//
+// The event queue used to hold `func(now int64)` callbacks. Closures
+// cannot be written to a checkpoint, so every deferred action is now a
+// Token — a small value naming *what* to do (complete a core window
+// slot, start or finish an MSHR fetch) plus the identifiers needed to
+// do it. A Dispatcher (implemented by sim.System) turns a token back
+// into the method call the closure used to capture.
+//
+// The token vocabulary is closed by construction: auditing every
+// Scheduler.After / Backend.Request call site shows the only deferred
+// actions are core slot completions, MSHR fetch starts, and MSHR fills
+// (write-backs and stores pass the zero Token, meaning "no action").
+// Keeping the set closed is what makes snapshots possible, so new
+// deferred behavior must be added here as a new Kind, never as a
+// closure.
+//
+// Snapshot/Restore contract: a Token is plain data; layers that buffer
+// tokens (the event queue, MSHR waiter lists, memctrl requests)
+// serialize them as three scalars and restore them verbatim.
+package ev
+
+// Kind names the deferred action a Token performs.
+type Kind uint8
+
+const (
+	// None is the zero token: no action. Write-backs and completed
+	// stores schedule nothing.
+	None Kind = iota
+	// CoreSlot completes load slot Arg in core ID's window.
+	CoreSlot
+	// MSHRStart begins the backing fetch for block address Arg at
+	// cache node ID (the miss latency has elapsed).
+	MSHRStart
+	// MSHRFill installs block address Arg into cache node ID (the
+	// backing fetch has returned).
+	MSHRFill
+)
+
+// Token is a defunctionalized event callback: Kind selects the action,
+// ID names the acting component (core ID or cache node ID), and Arg
+// carries the payload (window slot or block address).
+type Token struct {
+	Kind Kind
+	ID   int32
+	Arg  uint64
+}
+
+// IsZero reports whether the token performs no action.
+func (t Token) IsZero() bool { return t.Kind == None }
+
+// Dispatcher executes tokens. sim.System implements it by routing
+// CoreSlot to cpu.Core.CompleteSlot and the MSHR kinds to the cache
+// node registry.
+type Dispatcher interface {
+	Dispatch(t Token, now int64)
+}

@@ -1,0 +1,253 @@
+package fgss
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testFingerprint() [32]byte {
+	var fp [32]byte
+	for i := range fp {
+		fp[i] = byte(i * 7)
+	}
+	return fp
+}
+
+// encode builds a small two-section stream for the rejection tests.
+func encode(t *testing.T, engineVersion uint32, fp [32]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, engineVersion, fp)
+	w.Begin(1)
+	w.U64(42)
+	w.I64(-7)
+	w.Bool(true)
+	w.Bytes([]byte("payload"))
+	w.End()
+	w.Begin(2)
+	w.Int(5)
+	w.End()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenHeader pins the exact on-disk header layout: any change to
+// the magic, the field offsets, or the endianness breaks previously
+// written snapshots and must be deliberate (with a FormatVersion bump),
+// never accidental.
+func TestGoldenHeader(t *testing.T) {
+	fp := testFingerprint()
+	img := encode(t, 3, fp)
+	want := append([]byte{
+		'F', 'G', 'S', 'S', // magic
+		1, 0, // format version 1, little-endian u16
+		0, 0, // reserved
+		3, 0, 0, 0, // engine version 3, little-endian u32
+	}, fp[:]...)
+	if len(img) < HeaderSize {
+		t.Fatalf("stream is %d bytes, want at least the %d-byte header", len(img), HeaderSize)
+	}
+	if !bytes.Equal(img[:HeaderSize], want) {
+		t.Errorf("header bytes changed:\n got %x\nwant %x", img[:HeaderSize], want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fp := testFingerprint()
+	img := encode(t, 3, fp)
+	r, err := NewReader(bytes.NewReader(img), 3, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(1)
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d, want 42", got)
+	}
+	if got := r.I64(); got != -7 {
+		t.Errorf("I64 = %d, want -7", got)
+	}
+	if !r.Bool() {
+		t.Error("Bool = false, want true")
+	}
+	if got := r.Bytes(); string(got) != "payload" {
+		t.Errorf("Bytes = %q, want %q", got, "payload")
+	}
+	r.EndSection()
+	r.Section(2)
+	if got := r.Int(); got != 5 {
+		t.Errorf("Int = %d, want 5", got)
+	}
+	r.EndSection()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderRejectsHeader mirrors the FGTR corrupt-trace suite for the
+// snapshot container: every header defense refuses with a message that
+// names the problem.
+func TestReaderRejectsHeader(t *testing.T) {
+	fp := testFingerprint()
+	img := encode(t, 3, fp)
+
+	otherFP := fp
+	otherFP[0] ^= 0xff
+	cases := []struct {
+		name string
+		img  []byte
+		ev   uint32
+		fp   [32]byte
+		want string
+	}{
+		{"bad magic", append([]byte("NOPE"), img[4:]...), 3, fp, "not a FIGARO snapshot"},
+		{"bad format version", func() []byte {
+			b := bytes.Clone(img)
+			b[4] = 99
+			return b
+		}(), 3, fp, "unsupported snapshot format version"},
+		{"engine version mismatch", img, 4, fp, "engine version 3, this build is version 4"},
+		{"fingerprint mismatch", img, 3, otherFP, "does not match this run's config"},
+		{"truncated header", img[:HeaderSize/2], 3, fp, "truncated header"},
+		{"empty", nil, 3, fp, "truncated header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(bytes.NewReader(tc.img), tc.ev, tc.fp)
+			if err == nil {
+				t.Fatal("corrupt header accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReaderRejectsBody covers the section-level defenses: truncation,
+// tag mismatch, oversized claims, trailing bytes, undecoded payload,
+// and invalid bool bytes.
+func TestReaderRejectsBody(t *testing.T) {
+	fp := testFingerprint()
+	img := encode(t, 3, fp)
+	open := func(t *testing.T, b []byte) *Reader {
+		t.Helper()
+		r, err := NewReader(bytes.NewReader(b), 3, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	t.Run("truncated section", func(t *testing.T) {
+		r := open(t, img[:HeaderSize+4])
+		r.Section(1)
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "truncated stream") {
+			t.Errorf("err = %v, want truncated stream", err)
+		}
+	})
+
+	t.Run("tag mismatch", func(t *testing.T) {
+		r := open(t, img)
+		r.Section(2)
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "layer order mismatch") {
+			t.Errorf("err = %v, want layer order mismatch", err)
+		}
+	})
+
+	t.Run("oversized section claim", func(t *testing.T) {
+		b := bytes.Clone(img)
+		b[HeaderSize+4] = 0xff // section 1's length field
+		r := open(t, b)
+		r.Section(1)
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "only") {
+			t.Errorf("err = %v, want oversized-claim refusal", err)
+		}
+	})
+
+	t.Run("undecoded payload bytes", func(t *testing.T) {
+		r := open(t, img)
+		r.Section(1)
+		_ = r.U64() // leave the rest of the payload unread
+		r.EndSection()
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "undecoded payload bytes") {
+			t.Errorf("err = %v, want undecoded payload bytes", err)
+		}
+	})
+
+	t.Run("trailing bytes", func(t *testing.T) {
+		r := open(t, append(bytes.Clone(img), 0xAA))
+		r.Section(1)
+		_, _, _ = r.U64(), r.I64(), r.Bool()
+		r.Bytes()
+		r.EndSection()
+		r.Section(2)
+		r.Int()
+		r.EndSection()
+		if err := r.Close(); err == nil || !strings.Contains(err.Error(), "trailing bytes after the last section") {
+			t.Errorf("Close = %v, want trailing-bytes refusal", err)
+		}
+	})
+
+	t.Run("invalid bool byte", func(t *testing.T) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 3, fp)
+		w.Begin(1)
+		w.U64(2) // will be read back as a bool byte > 1
+		w.End()
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := open(t, buf.Bytes())
+		r.Section(1)
+		r.Bool()
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "invalid bool byte") {
+			t.Errorf("err = %v, want invalid bool byte", err)
+		}
+	})
+
+	t.Run("overlong byte string", func(t *testing.T) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 3, fp)
+		w.Begin(1)
+		w.U64(1 << 20) // length prefix far beyond the payload
+		w.End()
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := open(t, buf.Bytes())
+		r.Section(1)
+		r.Bytes()
+		if err := r.Err(); err == nil || !strings.Contains(err.Error(), "byte string claims") {
+			t.Errorf("err = %v, want byte-string claim refusal", err)
+		}
+	})
+}
+
+// TestWriterMisuse pins the writer's framing defenses.
+func TestWriterMisuse(t *testing.T) {
+	fp := testFingerprint()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 3, fp)
+	w.Begin(1)
+	w.Begin(2) // nested Begin
+	if err := w.Flush(); err == nil || !strings.Contains(err.Error(), "inside unfinished section") {
+		t.Errorf("nested Begin: Flush = %v, want unfinished-section error", err)
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf, 3, fp)
+	w.End()
+	if err := w.Flush(); err == nil || !strings.Contains(err.Error(), "End without Begin") {
+		t.Errorf("bare End: Flush = %v, want End-without-Begin error", err)
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf, 3, fp)
+	w.Begin(1)
+	if err := w.Flush(); err == nil || !strings.Contains(err.Error(), "Flush inside unfinished section") {
+		t.Errorf("open section: Flush = %v, want unfinished-section error", err)
+	}
+}

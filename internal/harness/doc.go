@@ -19,4 +19,9 @@
 // index into K-of-N slices, and ShardManifest describes a slice for
 // later merge validation (expcache.Merge). See ARCHITECTURE.md for the
 // full multi-machine workflow.
+//
+// RunSampled (sampled.go) is the sampled-execution workflow built on
+// the system checkpoint lifecycle: fast-forward to a region of
+// interest, snapshot (keeping the bytes for bit-exact re-entry), warm
+// up, and measure a window (SampledResult.WindowIPC).
 package harness

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SampledSpec describes a sampled execution in the classic three-phase
+// shape: fast-forward past initialization, warm the microarchitectural
+// state, then measure. All three counts are total retired instructions
+// summed across cores (the same unit sim.System.RunUntilRetired stops
+// on); statistics accumulate over the whole run, but the reported
+// window covers only the measurement phase. Phase boundaries are
+// RunUntilRetired stop-points: the cycle-skipping engine may overshoot
+// one by a batched bubble run, so the reported window counts are the
+// exact actuals, not the spec.
+type SampledSpec struct {
+	// FastForward is skipped before the checkpoint is taken. The run is
+	// still simulated cycle-accurately — the point of the phase is the
+	// reusable snapshot, not reduced fidelity.
+	FastForward int64
+	// Warmup runs between the checkpoint and the measurement window,
+	// absorbing the (already warm) state into steady-state behavior.
+	Warmup int64
+	// Measure is the measurement window length. Must be positive.
+	Measure int64
+}
+
+// SampledResult is one sampled execution's outcome.
+type SampledResult struct {
+	// Config is the exact (instruction-target-adjusted) configuration
+	// the run executed — the one a Checkpoint restore must be built for.
+	Config sim.Config
+	// Full holds the whole run's statistics, bit-identical to an
+	// unsampled run of Config (checkpointing is invisible).
+	Full sim.Result
+	// WindowInsts / WindowCycles cover the measurement phase only.
+	WindowInsts  int64
+	WindowCycles int64
+	// Checkpoint is the FGSS snapshot taken at the fast-forward point.
+	// Restoring it into a fresh sim.New(Config) system resumes the run
+	// with fast-forwarding already paid.
+	Checkpoint []byte
+}
+
+// WindowIPC returns the measurement window's aggregate IPC.
+func (s SampledResult) WindowIPC() float64 {
+	if s.WindowCycles <= 0 {
+		return 0
+	}
+	return float64(s.WindowInsts) / float64(s.WindowCycles)
+}
+
+// retired sums the retired instruction count across the system's cores.
+func retired(sys *sim.System) int64 {
+	var total int64
+	for _, c := range sys.Cores() {
+		total += c.Retired
+	}
+	return total
+}
+
+// RunSampled executes cfg's workload in fast-forward / warm-up /
+// measure phases. The per-core instruction target is derived from the
+// spec (overriding cfg.TargetInsts), the fast-forwarded state is
+// checkpointed, and the measurement window's instruction and cycle
+// counts are reported alongside the full-run statistics.
+func RunSampled(cfg sim.Config, spec SampledSpec) (SampledResult, error) {
+	if spec.Measure <= 0 {
+		return SampledResult{}, fmt.Errorf("harness: sampled measure window must be positive, got %d", spec.Measure)
+	}
+	if spec.FastForward < 0 || spec.Warmup < 0 {
+		return SampledResult{}, fmt.Errorf("harness: negative sampled phase (fast-forward %d, warmup %d)", spec.FastForward, spec.Warmup)
+	}
+	cores := int64(len(cfg.Mix.Apps))
+	if cores == 0 {
+		return SampledResult{}, fmt.Errorf("harness: mix %q has no applications", cfg.Mix.Name)
+	}
+	total := spec.FastForward + spec.Warmup + spec.Measure
+	cfg.TargetInsts = (total + cores - 1) / cores
+	cfg.MaxCycles = 0 // re-derive the safety net from the new target
+
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	out := SampledResult{Config: sys.Config()}
+
+	sys.RunUntilRetired(spec.FastForward)
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		return SampledResult{}, err
+	}
+	out.Checkpoint = buf.Bytes()
+
+	sys.RunUntilRetired(spec.FastForward + spec.Warmup)
+	warmInsts, warmCycles := retired(sys), sys.Clock()
+
+	res, err := sys.Run()
+	if err != nil {
+		return SampledResult{}, err
+	}
+	out.Full = res
+	out.WindowInsts = retired(sys) - warmInsts
+	out.WindowCycles = res.Cycles - warmCycles
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func sampledBaseConfig(t *testing.T) sim.Config {
+	t.Helper()
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.DefaultConfig(sim.FIGCacheFast, workload.Mix{Name: "mcf", Apps: workload.Sources(spec)})
+}
+
+func TestRunSampled(t *testing.T) {
+	cfg := sampledBaseConfig(t)
+	spec := SampledSpec{FastForward: 10_000, Warmup: 5_000, Measure: 15_000}
+	res, err := RunSampled(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cycle-skipping engine may overshoot the warm-up boundary by a
+	// batched bubble run, shaving the overshoot off the window; allow a
+	// small tolerance but catch a grossly wrong phase split.
+	if res.WindowInsts < spec.Measure*9/10 {
+		t.Errorf("measurement window retired %d insts, want about %d", res.WindowInsts, spec.Measure)
+	}
+	if res.WindowCycles <= 0 || res.WindowIPC() <= 0 {
+		t.Errorf("degenerate window: %d cycles, IPC %.4f", res.WindowCycles, res.WindowIPC())
+	}
+
+	// Sampling is observationally invisible: the full-run statistics
+	// must be bit-identical to an unsampled run of the same config.
+	sys, err := sim.New(res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Full, plain) {
+		t.Errorf("sampled full-run stats diverge from unsampled run:\n  sampled: %+v\nunsampled: %+v", res.Full, plain)
+	}
+
+	// The fast-forward checkpoint is a valid resume point: a fresh
+	// System restored from it finishes to the same result.
+	resumed, err := sim.New(res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(bytes.NewReader(res.Checkpoint)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Errorf("run resumed from the fast-forward checkpoint diverges:\n want: %+v\n  got: %+v", plain, got)
+	}
+}
+
+func TestRunSampledRejectsBadSpec(t *testing.T) {
+	cfg := sampledBaseConfig(t)
+	if _, err := RunSampled(cfg, SampledSpec{Measure: 0}); err == nil {
+		t.Error("zero measure window accepted, want error")
+	}
+	if _, err := RunSampled(cfg, SampledSpec{FastForward: -1, Measure: 100}); err == nil {
+		t.Error("negative fast-forward accepted, want error")
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the cost of one checkpoint cycle
+// — serializing a warm DefaultScale system and restoring it in place —
+// plus its allocation footprint and snapshot size.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.FIGCacheFast, workload.Mix{Name: "mcf", Apps: workload.Sources(spec)})
+	cfg.TargetInsts = DefaultScale().Insts
+	sys, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.RunUntilRetired(cfg.TargetInsts / 4) // warm every structure first
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf.Len()), "snapshot-bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := sys.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package lint assembles the fglint analyzer suite: the registry of AST
-// analyzers (maprange, nondeterm, resetcomplete) plus a convenience
-// runner that loads module packages and applies them. The diff-aware
+// analyzers (maprange, nondeterm, resetcomplete, snapshotcomplete) plus
+// a convenience runner that loads module packages and applies them. The diff-aware
 // versionguard check lives in its own package and is driven separately
 // (it inspects git history, not a package at a time); cmd/fglint wires
 // both together.
@@ -12,6 +12,7 @@ import (
 	"repro/internal/lint/maprange"
 	"repro/internal/lint/nondeterm"
 	"repro/internal/lint/resetcomplete"
+	"repro/internal/lint/snapshotcomplete"
 )
 
 // Analyzers returns the AST analyzer suite in its canonical order.
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		maprange.Analyzer,
 		nondeterm.Analyzer,
 		resetcomplete.Analyzer,
+		snapshotcomplete.Analyzer,
 	}
 }
 

@@ -1,0 +1,12 @@
+package snapshotcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/snapshotcomplete"
+)
+
+func TestSnapshotComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotcomplete.Analyzer, "ckptpkg")
+}

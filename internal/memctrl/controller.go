@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dram"
+	"repro/internal/ev"
 	"repro/internal/stats"
 )
 
@@ -30,14 +31,22 @@ type CacheHook interface {
 	// operations (or LISA hops). A nil plan means the insertion was
 	// cancelled (e.g. no evictable slot).
 	Insert(ch *dram.Channel, loc dram.Location, now int64) *RelocPlan
+
+	// Commit installs the cache tags for a plan this hook returned from
+	// Insert, at the moment the controller executes the relocation. The
+	// plan's CommitBank/CommitSlot/CommitRow/CommitSeg fields carry the
+	// hook-specific payload recorded at Insert time.
+	Commit(p *RelocPlan)
 }
 
 // RelocPlan describes in-DRAM relocation work the controller must apply to
 // a bank: total occupancy cycles and accounting detail. The controller
-// defers the work until the source row is about to close; Commit installs
-// the cache metadata at that point, so requests arriving while the source
-// row is still open keep being served from it (as row hits), exactly as
-// the paper's insertion sequence allows (Section 8.1).
+// defers the work until the source row is about to close; CacheHook.Commit
+// installs the cache metadata at that point, so requests arriving while
+// the source row is still open keep being served from it (as row hits),
+// exactly as the paper's insertion sequence allows (Section 8.1). The plan
+// is plain data — the commit payload is carried in the Commit* fields
+// rather than a closure — so deferred plans survive a checkpoint.
 type RelocPlan struct {
 	Loc    dram.Location // bank being occupied
 	Cost   int64         // occupancy in bus cycles
@@ -48,7 +57,13 @@ type RelocPlan struct {
 	// shared global data bus and occupies every bank in the channel, not
 	// just the source bank.
 	ChannelWide bool
-	Commit      func() // installs the cache tags when the relocation executes
+	// Commit payload, recorded by the hook's Insert and consumed by its
+	// Commit: the hook-local dense bank index, the reserved slot, and the
+	// source row (FIGCache additionally uses the segment index).
+	CommitBank int
+	CommitSlot int
+	CommitRow  int
+	CommitSeg  int
 }
 
 // Config holds the controller parameters from Table 1.
@@ -266,7 +281,7 @@ func (c *Controller) PendingWrites() int { return c.writeQ.size() }
 // no new request is enqueued before then. The run loop may skip all bus
 // cycles up to (but not including) that cycle; ticking earlier is always
 // safe and behaves exactly like the skipped idle ticks (a no-op).
-func (c *Controller) Tick(now int64, schedule func(at int64, fn func(int64))) int64 {
+func (c *Controller) Tick(now int64, schedule func(at int64, tok ev.Token)) int64 {
 	// Credit the write-drain diagnostic for ticks the caller skipped: a
 	// skipped tick is by contract a no-op, but the dense loop would still
 	// have counted it as a write-drain cycle while the mode was active
@@ -393,9 +408,7 @@ func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
 		hops += p.Hops
 		isLISA = isLISA || p.IsLISA
 		channelWide = channelWide || p.ChannelWide
-		if p.Commit != nil {
-			p.Commit()
-		}
+		c.cache.Commit(p)
 	}
 	if channelWide {
 		c.channel.RelocateAll(plans[0].Loc, now, cost, blocks)
@@ -499,7 +512,7 @@ type colCand struct {
 // which any considered command becomes issuable. The DRAM timing windows
 // only move when a command issues, so nextAt stays valid until the next
 // enqueue — the run loop can skip the idle ticks in between.
-func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, fn func(int64))) (issued bool, nextAt int64) {
+func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, tok ev.Token)) (issued bool, nextAt int64) {
 	nextAt = math.MaxInt64
 	// Pass 1: row hits — column command ready now. Closed banks are
 	// skipped whole; an open bank's bucket is scanned only up to its
@@ -617,7 +630,7 @@ func (c *Controller) columnCmd(r *Request) dram.Command {
 // issueColumn issues the RD/WR for the i-th request of its bank's bucket,
 // retires the request, and triggers cache insertion for read misses (the
 // relocation runs while the just-accessed source row is still open).
-func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, fn func(int64))) {
+func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, tok ev.Token)) {
 	r.bank.RowHits++
 	c.lastColumn[r.bankID] = now
 	end := c.channel.Issue(c.columnCmd(r), now)
@@ -628,7 +641,7 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 		c.ReadLatencySum += end - r.Arrive
 		c.latSamples.Add(end - r.Arrive)
 	}
-	if r.OnComplete != nil {
+	if !r.OnComplete.IsZero() {
 		schedule(end, r.OnComplete)
 	}
 	q.remove(r.bankID, i)

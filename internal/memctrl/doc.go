@@ -24,4 +24,9 @@
 //     bank and incrementally maintain the oldest request of each bank
 //     in age order, so deep write-queue drains cost the same per issued
 //     command as shallow queues (see queue in request.go).
+//
+// Controller.Snapshot/Restore (snapshot.go) serialize the queues,
+// in-flight requests (SnapshotRequest/RestoreRequest, driven by the
+// sim layer, which owns request identity), drain/refresh state, and
+// the latency reservoir for the system checkpoint lifecycle.
 package memctrl

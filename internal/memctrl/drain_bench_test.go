@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/ev"
 )
 
 // benchDrain fills the write queue with locs and ticks the controller
@@ -18,7 +19,7 @@ func benchDrain(b *testing.B, locs func(i int, geo dram.Geometry) dram.Location)
 	}
 	cfg := DefaultConfig()
 	c := NewController(0, cfg, ch, nil)
-	sched := func(at int64, fn func(int64)) {}
+	sched := func(at int64, tok ev.Token) {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {

@@ -6,9 +6,29 @@ import (
 	"testing/quick"
 
 	"repro/internal/dram"
+	"repro/internal/ev"
 )
 
-func newTestController(t *testing.T, hook CacheHook) *Controller {
+// testCtrl wraps a Controller with a token-to-closure registry: tests
+// register a completion closure with on and pass the returned token as
+// Request.OnComplete; runUntil dispatches fired tokens back through it.
+type testCtrl struct {
+	*Controller
+	fns []func(int64)
+}
+
+func (c *testCtrl) on(fn func(int64)) ev.Token {
+	c.fns = append(c.fns, fn)
+	return ev.Token{Kind: ev.CoreSlot, Arg: uint64(len(c.fns) - 1)}
+}
+
+func (c *testCtrl) dispatch(tok ev.Token, now int64) {
+	if tok.Kind == ev.CoreSlot {
+		c.fns[tok.Arg](now)
+	}
+}
+
+func newTestController(t *testing.T, hook CacheHook) *testCtrl {
 	t.Helper()
 	geo := dram.Default()
 	slow := dram.DDR4()
@@ -16,22 +36,23 @@ func newTestController(t *testing.T, hook CacheHook) *Controller {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewController(0, DefaultConfig(), ch, hook)
+	return &testCtrl{Controller: NewController(0, DefaultConfig(), ch, hook)}
 }
 
 // runUntil ticks the controller until pred returns true or the cycle limit
-// is reached, draining scheduled callbacks at their due cycle.
-func runUntil(c *Controller, limit int64, pred func() bool) int64 {
-	type ev struct {
-		at int64
-		fn func(int64)
+// is reached, dispatching scheduled tokens at their due cycle.
+func runUntil(c *testCtrl, limit int64, pred func() bool) int64 {
+	type pendingTok struct {
+		at  int64
+		tok ev.Token
 	}
-	var pending []ev
+	var pending []pendingTok
 	for now := int64(0); now < limit; now++ {
 		for i := 0; i < len(pending); {
 			if pending[i].at <= now {
-				pending[i].fn(now)
+				tok := pending[i].tok
 				pending = append(pending[:i], pending[i+1:]...)
+				c.dispatch(tok, now)
 			} else {
 				i++
 			}
@@ -39,8 +60,8 @@ func runUntil(c *Controller, limit int64, pred func() bool) int64 {
 		if pred() {
 			return now
 		}
-		c.Tick(now, func(at int64, fn func(int64)) {
-			pending = append(pending, ev{at, fn})
+		c.Tick(now, func(at int64, tok ev.Token) {
+			pending = append(pending, pendingTok{at, tok})
 		})
 	}
 	return limit
@@ -104,7 +125,7 @@ func TestReadRequestCompletes(t *testing.T) {
 	done := false
 	var doneAt int64
 	r := &Request{Loc: dram.Location{Row: 42, Block: 5},
-		OnComplete: func(at int64) { done = true; doneAt = at }}
+		OnComplete: c.on(func(at int64) { done = true; doneAt = at })}
 	c.Enqueue(r, 0)
 	end := runUntil(c, 200, func() bool { return done })
 	if !done {
@@ -126,7 +147,7 @@ func TestRowHitSecondRead(t *testing.T) {
 	var completions int
 	mk := func(block int) *Request {
 		return &Request{Loc: dram.Location{Row: 42, Block: block},
-			OnComplete: func(int64) { completions++ }}
+			OnComplete: c.on(func(int64) { completions++ })}
 	}
 	c.Enqueue(mk(0), 0)
 	c.Enqueue(mk(1), 0)
@@ -146,7 +167,7 @@ func TestRowHitSecondRead(t *testing.T) {
 func TestRowConflictPrecharges(t *testing.T) {
 	c := newTestController(t, nil)
 	var completions int
-	on := func(int64) { completions++ }
+	on := c.on(func(int64) { completions++ })
 	c.Enqueue(&Request{Loc: dram.Location{Row: 1}, OnComplete: on}, 0)
 	c.Enqueue(&Request{Loc: dram.Location{Row: 2}, OnComplete: on}, 0)
 	runUntil(c, 500, func() bool { return completions == 2 })
@@ -167,7 +188,7 @@ func TestFRFCFSPrefersRowHit(t *testing.T) {
 	order := make([]int, 0, 3)
 	mk := func(id, row, block int) *Request {
 		return &Request{Loc: dram.Location{Row: row, Block: block},
-			OnComplete: func(int64) { order = append(order, id) }}
+			OnComplete: c.on(func(int64) { order = append(order, id) })}
 	}
 	// Open row 1 via request 0; then a conflicting request to row 9
 	// arrives before another hit to row 1. FR-FCFS must serve the row hit
@@ -234,9 +255,9 @@ func TestRefreshEventuallyIssues(t *testing.T) {
 		if c.CanAccept(false) && now%50 == 0 {
 			row++
 			c.Enqueue(&Request{Loc: dram.Location{Row: row % 1000},
-				OnComplete: func(int64) { served++ }}, now)
+				OnComplete: c.on(func(int64) { served++ })}, now)
 		}
-		c.Tick(now, func(at int64, fn func(int64)) {})
+		c.Tick(now, func(at int64, tok ev.Token) {})
 	}
 	if c.Channel().NumREF < 2 {
 		t.Errorf("NumREF = %d over 3 tREFI, want >= 2", c.Channel().NumREF)
@@ -276,11 +297,13 @@ func (f *fakeCache) Insert(ch *dram.Channel, loc dram.Location, now int64) *Relo
 	return &RelocPlan{Loc: loc, Cost: f.relocCost, Blocks: f.blocks}
 }
 
+func (f *fakeCache) Commit(p *RelocPlan) {}
+
 func TestCacheHookHitRedirects(t *testing.T) {
 	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: true, relocCost: 30, blocks: 16}
 	c := newTestController(t, fc)
 	var completions int
-	on := func(int64) { completions++ }
+	on := c.on(func(int64) { completions++ })
 
 	// First access: miss, triggers insertion.
 	c.Enqueue(&Request{Loc: dram.Location{Row: 7, Block: 3}, OnComplete: on}, 0)
@@ -308,11 +331,11 @@ func TestCacheInsertOccupiesBank(t *testing.T) {
 	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: true, relocCost: 100, blocks: 16}
 	c := newTestController(t, fc)
 	var first, second int64
-	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: func(at int64) { first = at }}, 0)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: c.on(func(at int64) { first = at })}, 0)
 	runUntil(c, 400, func() bool { return first != 0 })
 	// A conflicting request right after insertion must wait out the
 	// relocation occupancy.
-	c.Enqueue(&Request{Loc: dram.Location{Row: 8}, OnComplete: func(at int64) { second = at }}, first)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 8}, OnComplete: c.on(func(at int64) { second = at })}, first)
 	runUntil(c, 2000, func() bool { return second != 0 })
 	// The second insertion is deferred; idle ticks must flush it.
 	runUntil(c, 4000, func() bool { return c.Channel().CollectStats().RELOC >= 32 })
@@ -332,7 +355,7 @@ func TestNoInsertWhenPolicyDeclines(t *testing.T) {
 	fc := &fakeCache{cached: map[uint64]dram.Location{}, insertAll: false}
 	c := newTestController(t, fc)
 	done := false
-	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: func(int64) { done = true }}, 0)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 7}, OnComplete: c.on(func(int64) { done = true })}, 0)
 	runUntil(c, 400, func() bool { return done })
 	if fc.inserted != 0 {
 		t.Errorf("inserted %d despite policy declining", fc.inserted)
@@ -366,13 +389,13 @@ func TestPropertyAllReadsComplete(t *testing.T) {
 			if want < len(rows) && c.CanAccept(false) {
 				c.Enqueue(&Request{
 					Loc:        dram.Location{Row: int(rows[want]) % 32768, Block: int(rows[want]) % 128},
-					OnComplete: func(int64) { got++ },
+					OnComplete: c.on(func(int64) { got++ }),
 				}, now)
 				want++
 			}
-			c.Tick(now, func(at int64, fn func(int64)) {
-				// Completion callbacks only mutate counters; invoke late.
-				defer fn(at)
+			c.Tick(now, func(at int64, tok ev.Token) {
+				// Completion tokens only mutate counters; dispatch late.
+				defer c.dispatch(tok, at)
 			})
 			if want == len(rows) && got == want {
 				return true
@@ -460,7 +483,7 @@ func TestWriteDrainFRFCFSOrder(t *testing.T) {
 	mk := func(id, bank, row, block int) *Request {
 		return &Request{IsWrite: true,
 			Loc:        dram.Location{Bank: bank, Row: row, Block: block},
-			OnComplete: func(int64) { order = append(order, id) }}
+			OnComplete: c.on(func(int64) { order = append(order, id) })}
 	}
 	// W0 -> bank0/row1, W1 -> bank1/row1, W2 -> bank0/row1 (row hit once
 	// bank0 is open). Oldest-first: W0, then W1 (older than the bank0 row
@@ -482,7 +505,7 @@ func TestReadLatencyPercentiles(t *testing.T) {
 	done := 0
 	for i := 0; i < 32; i++ {
 		r := &Request{Loc: dram.Location{Row: i * 7, Block: i % 16},
-			OnComplete: func(int64) { done++ }}
+			OnComplete: c.on(func(int64) { done++ })}
 		c.Enqueue(r, 0)
 	}
 	runUntil(c, 100_000, func() bool { return done == 32 })

@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/ev"
 )
 
-// planCache is a CacheHook whose Insert returns a plan with a Commit
-// callback, for testing the deferred-relocation engine.
+// planCache is a CacheHook whose Commit installs the planned segment,
+// for testing the deferred-relocation engine.
 type planCache struct {
 	cost      int64
 	committed int
@@ -36,21 +37,25 @@ func (p *planCache) Insert(ch *dram.Channel, loc dram.Location, now int64) *Relo
 		return nil
 	}
 	p.inflight[k] = true
-	return &RelocPlan{Loc: loc, Cost: p.cost, Blocks: 16, Commit: func() {
-		delete(p.inflight, k)
-		p.committed++
-		p.cached[k] = dram.Location{
-			Rank: loc.Rank, Group: loc.Group, Bank: loc.Bank,
-			Row: 0, Block: loc.Block, CacheRow: true,
-		}
-	}}
+	return &RelocPlan{Loc: loc, Cost: p.cost, Blocks: 16}
+}
+
+func (p *planCache) Commit(plan *RelocPlan) {
+	loc := plan.Loc
+	k := p.key(loc)
+	delete(p.inflight, k)
+	p.committed++
+	p.cached[k] = dram.Location{
+		Rank: loc.Rank, Group: loc.Group, Bank: loc.Bank,
+		Row: 0, Block: loc.Block, CacheRow: true,
+	}
 }
 
 func TestDeferredRelocCommitsAtRowClose(t *testing.T) {
 	pc := newPlanCache(40)
 	c := newTestController(t, pc)
 	var done int
-	on := func(int64) { done++ }
+	on := c.on(func(int64) { done++ })
 	// Miss to row 1 plans an insertion; it must not commit while row 1
 	// keeps serving requests.
 	c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0}, OnComplete: on}, 0)
@@ -89,9 +94,9 @@ func TestIdleFlushWaitsForQuietWindow(t *testing.T) {
 	for now := int64(0); now < quiet*6; now++ {
 		if now == 0 {
 			c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0},
-				OnComplete: func(at int64) { colAt = at }}, 0)
+				OnComplete: c.on(func(at int64) { colAt = at })}, 0)
 		}
-		c.Tick(now, func(at int64, fn func(int64)) { fn(at) })
+		c.Tick(now, func(at int64, tok ev.Token) { c.dispatch(tok, at) })
 		if pc.committed > 0 && flushAt == 0 {
 			flushAt = now
 		}
@@ -127,9 +132,9 @@ func TestImmediateRelocExecutesAtMiss(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.ImmediateReloc = true
-	c := NewController(0, cfg, ch, pc)
+	c := &testCtrl{Controller: NewController(0, cfg, ch, pc)}
 	done := false
-	c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0}, OnComplete: func(int64) { done = true }}, 0)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0}, OnComplete: c.on(func(int64) { done = true })}, 0)
 	runUntil(c, 200, func() bool { return done && pc.committed > 0 })
 	if pc.committed != 1 {
 		t.Fatalf("immediate mode committed %d at miss time, want 1", pc.committed)
@@ -143,7 +148,7 @@ func TestRefreshFlushesPendingRelocs(t *testing.T) {
 	pc := newPlanCache(40)
 	c := newTestController(t, pc)
 	done := false
-	c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0}, OnComplete: func(int64) { done = true }}, 0)
+	c.Enqueue(&Request{Loc: dram.Location{Row: 1, Block: 0}, OnComplete: c.on(func(int64) { done = true })}, 0)
 	// Serve the miss just before the refresh deadline, then keep the bank
 	// busy enough that only the refresh path can close it.
 	refi := int64(c.Channel().Slow.REFI)

@@ -1,6 +1,9 @@
 package memctrl
 
-import "repro/internal/dram"
+import (
+	"repro/internal/dram"
+	"repro/internal/ev"
+)
 
 // Request is one cache-block memory request queued at a channel's memory
 // controller.
@@ -11,10 +14,11 @@ type Request struct {
 	Arrive  int64 // bus cycle the request entered the queue
 	CoreID  int   // originating core, for per-core statistics
 
-	// OnComplete, if non-nil, fires once the request's data transfer has
-	// finished (reads: last beat received; writes: retired from the write
-	// queue). The argument is the completion bus cycle.
-	OnComplete func(at int64)
+	// OnComplete, unless zero, is the event token the controller hands to
+	// its scheduler once the request's data transfer has finished (reads:
+	// last beat received; writes: retired from the write queue), stamped
+	// with the completion bus cycle.
+	OnComplete ev.Token
 
 	// ServiceLoc is where the request is actually served: either Loc, or
 	// the in-DRAM cache location the cache hook redirected it to.

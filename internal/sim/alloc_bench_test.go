@@ -28,10 +28,10 @@ func BenchmarkAccessPathAllocs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s.runSkippingUntil(400_000) // warm pools, queues, and the event heap
+	s.runSkippingUntil(400_000, 0) // warm pools, queues, and the event heap
 
 	allocs := testing.AllocsPerRun(5, func() {
-		s.runSkippingUntil(s.clock + 50_000)
+		s.runSkippingUntil(s.clock+50_000, 0)
 	})
 	b.ReportMetric(allocs, "allocs/op")
 	if allocs > 0 {
@@ -40,7 +40,7 @@ func BenchmarkAccessPathAllocs(b *testing.B) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.runSkippingUntil(s.clock + 50_000)
+		s.runSkippingUntil(s.clock+50_000, 0)
 	}
 	b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
 }

@@ -104,8 +104,11 @@ func TestIdealHookZeroesCost(t *testing.T) {
 	if plan.Cost != 0 {
 		t.Errorf("ideal plan cost = %d, want 0", plan.Cost)
 	}
-	if plan.Commit == nil {
-		t.Error("ideal plan lost its Commit callback")
+	// Committing through the ideal wrapper must reach the inner FIGCache:
+	// the inserted segment becomes visible to Lookup.
+	hook.Commit(plan)
+	if _, hit := hook.Lookup(dram.Location{Row: 7}, false); !hit {
+		t.Error("ideal hook did not commit the insertion to the inner cache")
 	}
 }
 

@@ -28,4 +28,14 @@
 //     same-shape configuration (Config.ShapeKey), reusing its long-lived
 //     allocations; a Reset-reused System must remain bit-identical to a
 //     freshly constructed one (also enforced by TestEngineEquivalence).
+//
+//   - Checkpoint/restore. System.Snapshot serializes the complete
+//     mid-run state of every layer into the versioned FGSS format
+//     (internal/fgss; header carries EngineVersion and the config
+//     fingerprint, and Restore refuses a mismatch of either).
+//     System.RunUntilRetired is the checkpoint stop-point; a run
+//     checkpointed at instruction K and resumed — in-process or
+//     restored into a fresh System — finishes bit-identical to an
+//     uninterrupted run, for both engines (TestEngineEquivalence's
+//     checkpoint-at-K cases).
 package sim

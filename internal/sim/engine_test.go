@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"testing"
@@ -143,6 +144,54 @@ func TestEngineEquivalence(t *testing.T) {
 			}
 			if !reflect.DeepEqual(reused, skip) {
 				t.Errorf("Reset-reused System diverges from fresh run:\n fresh: %+v\nreused: %+v", skip, reused)
+			}
+
+			// Checkpoint-at-K: pausing a run mid-flight at RunUntilRetired,
+			// snapshotting, and finishing — on the same System, or on a
+			// freshly built one restored from the snapshot bytes — must
+			// reproduce the uninterrupted run bit for bit, for both engines.
+			k := c.insts * int64(len(c.cfg.Mix.Apps)) / 3
+			if k < 1 {
+				k = 1
+			}
+			for _, dl := range []bool{true, false} {
+				want := skip
+				if dl {
+					want = dense
+				}
+				cfg := c.cfg
+				cfg.DenseLoop = dl
+				sys, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.RunUntilRetired(k)
+				var buf bytes.Buffer
+				if err := sys.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				cont, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(cont, want) {
+					t.Errorf("dense=%v: checkpoint-at-%d + in-process continue diverges:\n want: %+v\n  got: %+v", dl, k, want, cont)
+				}
+
+				fresh, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+				restored, err := fresh.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(restored, want) {
+					t.Errorf("dense=%v: checkpoint-at-%d + fresh-System restore diverges:\n want: %+v\n  got: %+v", dl, k, want, restored)
+				}
 			}
 		})
 	}

@@ -1,10 +1,14 @@
 package sim
 
-// event is a deferred callback in CPU-cycle time.
+import "repro/internal/ev"
+
+// event is a deferred action in CPU-cycle time. The action is an
+// ev.Token rather than a closure so pending events can be written to a
+// checkpoint and restored verbatim (see internal/ev).
 type event struct {
 	at  int64
 	seq int64 // tie-breaker for deterministic ordering
-	fn  func(now int64)
+	tok ev.Token
 }
 
 // eventQueue is a deterministic priority queue of events, split into a
@@ -46,13 +50,13 @@ func (q *eventQueue) newLane() int {
 	return len(q.lanes) - 1
 }
 
-// scheduleLane adds a callback at absolute CPU cycle at on a FIFO lane.
+// scheduleLane adds a token at absolute CPU cycle at on a FIFO lane.
 // The caller promises non-decreasing at per lane; a violation falls back
 // to the heap so correctness never depends on the promise.
-func (q *eventQueue) scheduleLane(lane int, at int64, fn func(int64)) {
+func (q *eventQueue) scheduleLane(lane int, at int64, tok ev.Token) {
 	l := &q.lanes[lane]
 	if n := len(l.items); n > l.head && l.items[n-1].at > at {
-		q.schedule(at, fn)
+		q.schedule(at, tok)
 		return
 	}
 	if l.head == len(l.items) {
@@ -62,14 +66,14 @@ func (q *eventQueue) scheduleLane(lane int, at int64, fn func(int64)) {
 		l.head = 0
 	}
 	q.seq++
-	l.items = append(l.items, event{at: at, seq: q.seq, fn: fn})
+	l.items = append(l.items, event{at: at, seq: q.seq, tok: tok})
 	if at < q.nextDue {
 		q.nextDue = at
 	}
 }
 
-// reset empties the queue — heap and lanes — releasing callbacks for GC
-// while keeping all backing storage and lane registrations.
+// reset empties the queue — heap and lanes — while keeping all backing
+// storage and lane registrations.
 func (q *eventQueue) reset() {
 	clear(q.items)
 	q.items = q.items[:0]
@@ -120,10 +124,10 @@ func (q *eventQueue) down(i int) {
 	}
 }
 
-// schedule adds a callback at absolute CPU cycle at.
-func (q *eventQueue) schedule(at int64, fn func(int64)) {
+// schedule adds a token at absolute CPU cycle at.
+func (q *eventQueue) schedule(at int64, tok ev.Token) {
 	q.seq++
-	q.items = append(q.items, event{at: at, seq: q.seq, fn: fn})
+	q.items = append(q.items, event{at: at, seq: q.seq, tok: tok})
 	q.up(len(q.items) - 1)
 	if at < q.nextDue {
 		q.nextDue = at
@@ -182,21 +186,21 @@ func (q *eventQueue) nextAtSlow() (int64, bool) {
 // share this discipline, so dense/skip bit-equality is unaffected. The
 // nextDue probe makes the per-cycle nothing-due case O(1); when events do
 // fire, the exact next due time is recomputed on the way out.
-func (q *eventQueue) fireDue(now int64) {
+func (q *eventQueue) fireDue(now int64, d ev.Dispatcher) {
 	if now < q.nextDue {
 		return
 	}
 	for {
 		for len(q.items) > 0 && q.items[0].at <= now {
-			fn := q.items[0].fn
+			tok := q.items[0].tok
 			n := len(q.items) - 1
 			q.items[0] = q.items[n]
-			q.items[n] = event{} // release the callback for GC
+			q.items[n] = event{}
 			q.items = q.items[:n]
 			if n > 1 {
 				q.down(0)
 			}
-			fn(now)
+			d.Dispatch(tok, now)
 		}
 		for i := range q.lanes {
 			l := &q.lanes[i]
@@ -208,10 +212,10 @@ func (q *eventQueue) fireDue(now int64) {
 				if e.at > now {
 					break
 				}
-				fn := e.fn
+				tok := e.tok
 				*e = event{}
 				l.head++
-				fn(now)
+				d.Dispatch(tok, now)
 			}
 		}
 		// One scan both recomputes the nextDue cache and decides whether a

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ev"
 	"repro/internal/workload"
 )
 
@@ -32,19 +33,25 @@ func quickRun(t *testing.T, p Preset, mix workload.Mix, insts int64) Result {
 	return res
 }
 
+// recDisp records dispatched token Args in fire order.
+type recDisp struct{ got []int }
+
+func (d *recDisp) Dispatch(tok ev.Token, now int64) { d.got = append(d.got, int(tok.Arg)) }
+
 func TestEventQueueOrdering(t *testing.T) {
 	var q eventQueue
-	var got []int
-	q.schedule(10, func(int64) { got = append(got, 2) })
-	q.schedule(5, func(int64) { got = append(got, 1) })
-	q.schedule(10, func(int64) { got = append(got, 3) }) // same time: FIFO by seq
-	q.schedule(20, func(int64) { got = append(got, 4) })
-	q.fireDue(10)
-	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+	d := &recDisp{}
+	tok := func(id int) ev.Token { return ev.Token{Kind: ev.CoreSlot, Arg: uint64(id)} }
+	q.schedule(10, tok(2))
+	q.schedule(5, tok(1))
+	q.schedule(10, tok(3)) // same time: FIFO by seq
+	q.schedule(20, tok(4))
+	q.fireDue(10, d)
+	if got := d.got; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Errorf("fire order = %v, want [1 2 3]", got)
 	}
-	q.fireDue(100)
-	if len(got) != 4 || got[3] != 4 {
+	q.fireDue(100, d)
+	if got := d.got; len(got) != 4 || got[3] != 4 {
 		t.Errorf("final order = %v", got)
 	}
 }

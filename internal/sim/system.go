@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/ev"
 	"repro/internal/memctrl"
 	"repro/internal/workload"
 )
@@ -19,16 +20,16 @@ type System struct {
 
 	cores    []*cpu.Core
 	hier     *cache.Hierarchy
-	mapper   *memctrl.AddrMapper
+	mapper   *memctrl.AddrMapper //fglint:preserved address-decode tables derived from config; Decode only reads them
 	ctrls    []*memctrl.Controller
 	channels []*dram.Channel
 	hooks    []memctrl.CacheHook
 	adapter  *memAdapter
 
-	// busSched converts a controller's bus-cycle completion callbacks to
+	// busSched converts a controller's bus-cycle completion tokens to
 	// CPU-cycle events. Bound once at construction so the per-tick calls
 	// do not evaluate a fresh closure on the hot path.
-	busSched func(at int64, fn func(int64))
+	busSched func(at int64, tok ev.Token)
 	// ctrlWake[i] is the next-work bus cycle controller i reported at its
 	// most recent tick; zero forces a tick at the first bus boundary.
 	// Owned by runSkippingUntil, kept on the System so resumed engine
@@ -102,8 +103,22 @@ func New(cfg Config) (*System, error) {
 // than per tick, so the hot path never evaluates a fresh closure.
 func (s *System) bindBusSched() {
 	cpb := s.cfg.CPUPerBus
-	s.busSched = func(at int64, fn func(int64)) {
-		s.events.schedule(at*cpb, fn)
+	s.busSched = func(at int64, tok ev.Token) {
+		s.events.schedule(at*cpb, tok)
+	}
+}
+
+// Dispatch implements ev.Dispatcher: execute one event token. This is
+// the single point where a deferred action — a due event, a fill's
+// synchronous waiter — turns back into the method call it stands for.
+func (s *System) Dispatch(t ev.Token, now int64) {
+	switch t.Kind {
+	case ev.CoreSlot:
+		s.cores[t.ID].CompleteSlot(int(t.Arg))
+	case ev.MSHRStart:
+		s.hier.Node(t.ID).StartFetch(t.Arg)
+	case ev.MSHRFill:
+		s.hier.Node(t.ID).Fill(t.Arg)
 	}
 }
 
@@ -259,9 +274,12 @@ type laneScheduler struct {
 	lane int
 }
 
-func (l *laneScheduler) After(delay int64, fn func(now int64)) {
-	l.sys.events.scheduleLane(l.lane, l.sys.clock+delay, fn)
+func (l *laneScheduler) After(delay int64, tok ev.Token) {
+	l.sys.events.scheduleLane(l.lane, l.sys.clock+delay, tok)
 }
+
+// Dispatch forwards token execution to the System.
+func (l *laneScheduler) Dispatch(t ev.Token, now int64) { l.sys.Dispatch(t, now) }
 
 // floorPow2 rounds v down to a power of two.
 func floorPow2(v uint64) uint64 {
@@ -273,8 +291,8 @@ func floorPow2(v uint64) uint64 {
 }
 
 // After implements cache.Scheduler on the system's event queue.
-func (s *System) After(delay int64, fn func(now int64)) {
-	s.events.schedule(s.clock+delay, fn)
+func (s *System) After(delay int64, tok ev.Token) {
+	s.events.schedule(s.clock+delay, tok)
 }
 
 // Clock returns the current CPU cycle.
@@ -337,13 +355,13 @@ func (m *memAdapter) reset() {
 }
 
 // Request implements cache.Backend.
-func (m *memAdapter) Request(addr uint64, isWrite bool, coreID int, onDone func(now int64)) {
+func (m *memAdapter) Request(addr uint64, isWrite bool, coreID int, onDone ev.Token) {
 	ch, loc := m.sys.mapper.Decode(addr)
 	req := m.alloc()
 	req.Addr, req.Loc, req.IsWrite, req.CoreID = addr, loc, isWrite, coreID
-	// The controller invokes OnComplete through the scheduler lambda in
-	// System.Run, which already converts bus cycles to CPU cycles, so the
-	// callback fires in CPU time and can be passed through directly.
+	// The controller hands OnComplete to busSched, which converts bus
+	// cycles to CPU cycles, so the token fires in CPU time and can be
+	// passed through directly.
 	req.OnComplete = onDone
 	m.pending = append(m.pending, pendingReq{channel: ch, req: req})
 }
@@ -408,7 +426,7 @@ func (m *memAdapter) drain(busNow int64) {
 // cycle-by-cycle loop; the two are bit-identical (TestEngineEquivalence).
 func (s *System) Run() (Result, error) {
 	if s.cfg.DenseLoop {
-		s.runDense()
+		s.runDense(0)
 	} else {
 		s.runSkipping()
 	}
@@ -421,13 +439,42 @@ func (s *System) Run() (Result, error) {
 	return s.collect(), nil
 }
 
+// totalRetired sums the retired instruction count across all cores.
+func (s *System) totalRetired() int64 {
+	var total int64
+	for _, c := range s.cores {
+		total += c.Retired
+	}
+	return total
+}
+
+// RunUntilRetired executes the system until the total retired
+// instruction count across all cores reaches target (or every core
+// finishes, or MaxCycles elapse). It is the checkpoint stop-point:
+// the run pauses on a fully executed cycle, a Snapshot taken here
+// captures the complete machine state, and calling Run afterwards —
+// on this System or on a fresh one restored from the snapshot —
+// finishes the run bit-identically to an uninterrupted Run. The
+// cycle-skipping engine may overshoot target by the tail of a batched
+// bubble run; callers needing an exact count should use the dense
+// engine.
+func (s *System) RunUntilRetired(target int64) {
+	if s.cfg.DenseLoop {
+		s.runDense(target)
+	} else {
+		s.runSkippingUntil(s.cfg.MaxCycles, target)
+	}
+}
+
 // runDense is the reference engine: advance the clock one CPU cycle at a
 // time, ticking the memory system every bus cycle and every core every
-// CPU cycle.
-func (s *System) runDense() {
+// CPU cycle. A positive stopRetired pauses the loop once the total
+// retired instruction count reaches it: the current cycle completes in
+// full, so a snapshot taken at the pause resumes bit-identically.
+func (s *System) runDense(stopRetired int64) {
 	cpb := s.cfg.CPUPerBus
 	for ; s.clock < s.cfg.MaxCycles; s.clock++ {
-		s.events.fireDue(s.clock)
+		s.events.fireDue(s.clock, s)
 		if s.clock%cpb == 0 {
 			busNow := s.clock / cpb
 			s.adapter.drain(busNow)
@@ -443,6 +490,10 @@ func (s *System) runDense() {
 			}
 		}
 		if allDone {
+			s.clock++
+			break
+		}
+		if stopRetired > 0 && s.totalRetired() >= stopRetired {
 			s.clock++
 			break
 		}
@@ -469,12 +520,17 @@ func (s *System) runDense() {
 // windows only move when a command issues — or pure bubble issue/retire
 // cycles whose dense effect cpu.Core.Advance replays arithmetically, so
 // jumping over them is bit-identical.
-func (s *System) runSkipping() { s.runSkippingUntil(s.cfg.MaxCycles) }
+func (s *System) runSkipping() { s.runSkippingUntil(s.cfg.MaxCycles, 0) }
 
 // runSkippingUntil runs the skipping engine until every core is done or
 // the clock reaches maxCycles (exclusive). Factored out so benchmarks
-// can drive the engine for a bounded cycle span.
-func (s *System) runSkippingUntil(maxCycles int64) {
+// can drive the engine for a bounded cycle span. A positive stopRetired
+// pauses the loop once the total retired count reaches it; the executed
+// cycle (or applied jump) completes in full first, so a checkpoint may
+// land a few batched cycles past the threshold — the contract is that
+// pausing and resuming the same engine is bit-identical, not that both
+// engines pause on the same cycle.
+func (s *System) runSkippingUntil(maxCycles, stopRetired int64) {
 	cpb := s.cfg.CPUPerBus
 	if s.ctrlWake == nil {
 		s.ctrlWake = make([]int64, len(s.ctrls))
@@ -482,7 +538,7 @@ func (s *System) runSkippingUntil(maxCycles int64) {
 	}
 	ctrlWake := s.ctrlWake
 	for s.clock < maxCycles {
-		s.events.fireDue(s.clock)
+		s.events.fireDue(s.clock, s)
 		if s.clock%cpb == 0 {
 			busNow := s.clock / cpb
 			s.adapter.drain(busNow)
@@ -504,6 +560,10 @@ func (s *System) runSkippingUntil(maxCycles int64) {
 			}
 		}
 		if allDone {
+			s.clock++
+			break
+		}
+		if stopRetired > 0 && s.totalRetired() >= stopRetired {
 			s.clock++
 			break
 		}
@@ -565,6 +625,10 @@ func (s *System) runSkippingUntil(maxCycles int64) {
 			}
 			if allDone {
 				s.clock = next // dense clock after its last executed cycle
+				break
+			}
+			if stopRetired > 0 && s.totalRetired() >= stopRetired {
+				s.clock = next
 				break
 			}
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/ev"
 	"repro/internal/memctrl"
 )
 
@@ -27,8 +28,8 @@ func TestDrainPreservesPerChannelOrder(t *testing.T) {
 
 	// Buffer an (older) write that cannot enter, then a younger read that
 	// could — the read queue has space, but order must hold.
-	s.adapter.Request(1<<20, true, 0, nil)
-	s.adapter.Request(2<<20, false, 0, func(int64) {})
+	s.adapter.Request(1<<20, true, 0, ev.Token{})
+	s.adapter.Request(2<<20, false, 0, ev.Token{Kind: ev.CoreSlot})
 	s.adapter.drain(0)
 
 	if got := ctrl.PendingReads(); got != 0 {
@@ -42,7 +43,7 @@ func TestDrainPreservesPerChannelOrder(t *testing.T) {
 	// buffered write and read must then enter in order.
 	now := int64(1)
 	for ; !ctrl.CanAccept(true) && now < 1_000_000; now++ {
-		ctrl.Tick(now, func(at int64, fn func(int64)) {})
+		ctrl.Tick(now, func(at int64, tok ev.Token) {})
 	}
 	if !ctrl.CanAccept(true) {
 		t.Fatal("write queue never drained")
@@ -95,8 +96,8 @@ func TestDrainIndependentChannels(t *testing.T) {
 		}
 	}
 
-	s.adapter.Request(addr0, true, 0, nil)  // blocked: channel 0 write queue full
-	s.adapter.Request(addr1, false, 0, nil) // channel 1 is free
+	s.adapter.Request(addr0, true, 0, ev.Token{})  // blocked: channel 0 write queue full
+	s.adapter.Request(addr1, false, 0, ev.Token{}) // channel 1 is free
 	s.adapter.drain(0)
 
 	if got := s.ctrls[1].PendingReads(); got != 1 {

@@ -14,4 +14,8 @@
 // shard-merge CI jobs diff rendered tables across process and machine
 // boundaries, so formatting here must never depend on map order, time,
 // or locale.
+//
+// Reservoir.Snapshot/Restore (snapshot.go) serialize the sample buffer
+// and RNG state for the system checkpoint lifecycle, so a restored run
+// reports the same percentiles an uninterrupted one would.
 package stats

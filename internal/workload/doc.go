@@ -37,4 +37,9 @@
 // a trace's run identity is the sha256 of its content (cached per path
 // by LoadTrace), never its filename. tracegen records them, figsim and
 // figbench replay them as "trace:FILE" workloads.
+//
+// Generator.Snapshot/Restore and Replayer.Snapshot/Restore
+// (snapshot.go) serialize the RNG, sweep-stream, and cursor state for
+// the system checkpoint lifecycle, so a restored trace source resumes
+// mid-stream bit-identically.
 package workload

@@ -1,0 +1,51 @@
+package workload
+
+import "repro/internal/fgss"
+
+// Snapshot appends the generator's mutable state: the PRNG, each sweep
+// stream's position, and the current run. Everything else — the spec,
+// layout strides, and zipf CDF — is derived from configuration at Open
+// time and comes back for free on a fingerprint-matched restore.
+func (g *Generator) Snapshot(w *fgss.Writer) {
+	w.U64(uint64(g.rng))
+	w.Int(len(g.streams))
+	for i := range g.streams {
+		w.I64(g.streams[i].pos)
+	}
+	w.Int(g.runLeft)
+	w.U64(g.runAddr)
+}
+
+// Restore reads back what Snapshot wrote. The receiver must come from
+// the same spec (stream count mismatch stops decoding).
+func (g *Generator) Restore(r *fgss.Reader) {
+	g.rng = splitmix64(r.U64())
+	n := r.Int()
+	if n != len(g.streams) {
+		return
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		g.streams[i].pos = r.I64()
+	}
+	g.runLeft = r.Int()
+	g.runAddr = r.U64()
+}
+
+// Snapshot appends the replayer's position in the recorded trace. The
+// trace bytes themselves are content-addressed by the config
+// fingerprint, so only the cursor travels in the checkpoint.
+func (r *Replayer) Snapshot(w *fgss.Writer) {
+	w.Int(r.off)
+	w.U64(r.prev)
+}
+
+// Restore reads back what Snapshot wrote. An offset outside the trace
+// is a structural mismatch and decoding stops.
+func (r *Replayer) Restore(rd *fgss.Reader) {
+	off := rd.Int()
+	if off < 0 || off > len(r.data) {
+		return
+	}
+	r.off = off
+	r.prev = rd.U64()
+}

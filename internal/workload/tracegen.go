@@ -34,7 +34,7 @@ type Generator struct {
 	layout Layout
 
 	streams    []sweepStream
-	streamZipf *zipfSampler
+	streamZipf *zipfSampler //fglint:preserved precomputed CDF, read-only after construction; sampling draws from the serialized rng
 
 	// Burst state: remaining sequential blocks of the current run.
 	runLeft int
