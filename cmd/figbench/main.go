@@ -41,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,6 +65,9 @@ func main() {
 	force := flag.Bool("force", false, "recompute cached runs and rewrite the persistent cache")
 	shard := flag.String("shard", "", "compute only slice K/N of the experiment matrix into -cache-dir (no tables are rendered; merge shards with figmerge)")
 	customWl := flag.String("workload", "", "comma-separated workloads for the custom experiment (benchmarks, mixes, mt-<app>, trace:FILE)")
+	gang := flag.Bool("gang", true, "execute same-workload runs as one gang over a shared instruction stream (results are bit-identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
 	args := flag.Args()
@@ -70,11 +75,27 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 	cache := expcache.New(*cacheDir)
 	r := harness.NewRunnerWithCache(harness.Scale{
 		Insts: *insts, SingleApps: *apps, MixesPerCategory: *mixes,
 		MCIterations: *mc, Parallelism: *par,
 	}, cache, *force)
+	r.SetGangEnabled(*gang)
 
 	type experiment struct {
 		name string
@@ -198,9 +219,9 @@ func main() {
 			r.SimCycles(), r.SimWallSeconds(), cps/1e6)
 	}
 	st := r.CacheStats()
-	fmt.Printf("result cache: hits=%d (mem=%d disk=%d) misses=%d computed=%d systems=%d built+%d reused",
+	fmt.Printf("result cache: hits=%d (mem=%d disk=%d) misses=%d computed=%d systems=%d built+%d reused gangs=%d ganged=%d",
 		st.Hits(), st.MemHits, st.DiskHits, st.Misses, st.Stores,
-		r.SystemsBuilt(), r.SystemsReused())
+		r.SystemsBuilt(), r.SystemsReused(), r.GangsFormed(), r.GangedRuns())
 	if *cacheDir != "" {
 		fmt.Printf(" dir=%s", *cacheDir)
 	}
@@ -211,6 +232,21 @@ func main() {
 		fmt.Printf(" disk-errors=%d", st.DiskError)
 	}
 	fmt.Println()
+}
+
+// writeHeapProfile snapshots the heap into path after a final GC, so the
+// profile reflects live retained memory rather than collectable garbage.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figbench: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "figbench: -memprofile: %v\n", err)
+	}
 }
 
 // splitList splits a comma-separated flag value, dropping empty items.

@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/energy"
@@ -52,11 +54,26 @@ func main() {
 		"snapshot output file for -checkpoint-at")
 	restore := flag.String("restore", "",
 		"resume from a snapshot file instead of starting fresh (config flags must match the snapshot)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
 	if *list {
 		printCatalog()
 		return
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
 	}
 	p, err := parsePreset(*preset)
 	if err != nil {
@@ -95,6 +112,21 @@ func main() {
 	}
 	printResult(system.Config(), res)
 	printLatencyTail(system)
+}
+
+// writeHeapProfile snapshots the heap into path after a final GC, so the
+// profile reflects live retained memory rather than collectable garbage.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figsim: -memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "figsim: -memprofile:", err)
+	}
 }
 
 // writeSnapshot checkpoints the system's full state to path.

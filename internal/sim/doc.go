@@ -38,4 +38,11 @@
 //     restored into a fresh System — finishes bit-identical to an
 //     uninterrupted run, for both engines (TestEngineEquivalence's
 //     checkpoint-at-K cases).
+//
+//   - Gang execution. Gang (gang.go) runs N same-workload Systems in
+//     interleaved slices over one shared instruction stream
+//     (workload.Tee), with each member's Result bit-identical to its
+//     solo run — a pure execution-strategy change under the same
+//     EngineVersion, so gang-computed and solo-computed cache entries
+//     are interchangeable. Config.GangKey is the grouping identity.
 package sim

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// ErrGangIncompatible reports that a set of configurations cannot share
+// one gang stream: some member would open a core's workload source with
+// different parameters (source, seed, address window, or layout) than
+// the gang leader, so its solo trace would differ from the shared one.
+// The caller should fall back to solo runs; Config.GangKey is the
+// grouping predicate that avoids this error in the first place.
+var ErrGangIncompatible = errors.New("sim: configurations cannot share one gang stream")
+
+// gangSliceCycles is the scheduling quantum of Gang.Run: how many CPU
+// cycles a member advances before control rotates to the laggard. Large
+// enough that the slice-entry overhead (wake-scan warmup, tail credit
+// settlement) vanishes against the simulated work, small enough that
+// members stay within a few thousand records of each other — which is
+// what keeps the shared stream's memoization window (workload.Tee) at
+// its initial capacity.
+const gangSliceCycles = 1 << 15
+
+// Gang advances N same-workload Systems in lockstep through one decoded
+// instruction stream. Each member's execution is bit-identical to its
+// solo run — the gang only changes *when* work happens (interleaved
+// slices, shared stream memoization), never *what* happens — so results
+// computed by a gang and by solo runs are interchangeable under the same
+// fingerprints (TestEngineEquivalence gang cases).
+//
+// Gangs and checkpoints do not mix mid-run: a member's cores read a tee
+// cursor, not a snapshottable source reader, so System.Snapshot would
+// skip its trace section. No API exposes a member between NewGang and
+// the end of Run, and a finished member Reset for a solo run opens a
+// real source reader again, so the combination cannot arise.
+type Gang struct {
+	members []*System
+	// tees[core] is the shared per-core stream: produced once by the
+	// leader's source reader, observed by every member at its own pace.
+	tees []*workload.Tee
+}
+
+// gangOpenParams records the exact arguments the leader's System opened
+// one core's source with; every other member must match them for the
+// shared stream to be its solo stream.
+type gangOpenParams struct {
+	src    workload.Source
+	seed   uint64
+	base   uint64
+	span   uint64
+	layout workload.Layout
+}
+
+// NewGang assembles a gang for the configurations, which must agree on
+// core count and on every core's workload-source open parameters
+// (ErrGangIncompatible otherwise — group by Config.GangKey to avoid it).
+// Timing-side configuration (preset, FIG/LISA overrides, clock ratio,
+// instruction targets, engine selection) is free to differ per member:
+// it never feeds back into the instruction stream.
+//
+// reuse optionally supplies idle Systems to retarget via Reset instead
+// of fresh construction; entries may be nil and the slice may be shorter
+// than cfgs. On error the reuse Systems must be discarded (a member
+// Reset may have failed partway, and earlier members hold tee readers
+// for a gang that will never run).
+func NewGang(cfgs []Config, reuse []*System) (*Gang, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sim: gang needs at least one configuration")
+	}
+	cores := len(cfgs[0].Mix.Apps)
+	for _, cfg := range cfgs[1:] {
+		if len(cfg.Mix.Apps) != cores {
+			return nil, fmt.Errorf("%w: core counts differ (%d vs %d)",
+				ErrGangIncompatible, cores, len(cfg.Mix.Apps))
+		}
+	}
+	g := &Gang{tees: make([]*workload.Tee, cores)}
+	params := make([]gangOpenParams, cores)
+	for m, cfg := range cfgs {
+		m := m
+		open := func(core int, src workload.Source, seed, base, span uint64, layout workload.Layout) (cpu.TraceReader, error) {
+			p := gangOpenParams{src: src, seed: seed, base: base, span: span, layout: layout}
+			if m == 0 {
+				// The leader opens the real source once; everyone reads the
+				// memoized stream, the leader included.
+				solo, err := src.Open(seed, base, span, layout)
+				if err != nil {
+					return nil, err
+				}
+				tee, err := workload.NewTee(solo, len(cfgs))
+				if err != nil {
+					return nil, err
+				}
+				g.tees[core], params[core] = tee, p
+				return tee.Reader(0), nil
+			}
+			if p != params[core] {
+				return nil, fmt.Errorf("%w: member %d core %d opens %s with different parameters than the leader",
+					ErrGangIncompatible, m, core, src.Name())
+			}
+			return g.tees[core].Reader(m), nil
+		}
+		var sys *System
+		var err error
+		if m < len(reuse) && reuse[m] != nil {
+			sys = reuse[m]
+			err = sys.ResetWithOpener(cfg, open)
+		} else {
+			sys, err = NewWithOpener(cfg, open)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: gang member %d (%s): %w", m, cfg.Describe(), err)
+		}
+		g.members = append(g.members, sys)
+	}
+	return g, nil
+}
+
+// Members exposes the gang's Systems, in configuration order. After Run
+// they are ordinary finished Systems: Reset retargets them to any
+// same-shape configuration, solo or gang (pinned by the gang Reset-reuse
+// equivalence case).
+func (g *Gang) Members() []*System { return g.members }
+
+// consumed returns how many shared-stream records member m has read
+// across all cores — the scheduling metric that keeps the gang's members
+// close together on the stream.
+func (g *Gang) consumed(m int) uint64 {
+	var total uint64
+	for _, tee := range g.tees {
+		total += tee.Consumed(m)
+	}
+	return total
+}
+
+// Run drives every member to completion, always advancing the open
+// member that has consumed the fewest shared-stream records (ties to the
+// lowest index, so scheduling is deterministic — not that it matters for
+// results, which are member-local). Each member's Result and error are
+// exactly what its solo Run would have produced, in configuration order.
+func (g *Gang) Run() ([]Result, []error) {
+	open := len(g.members)
+	done := make([]bool, len(g.members))
+	for open > 0 {
+		best := -1
+		var bestC uint64
+		for i := range g.members {
+			if done[i] {
+				continue
+			}
+			if c := g.consumed(i); best < 0 || c < bestC {
+				best, bestC = i, c
+			}
+		}
+		if g.members[best].RunSlice(gangSliceCycles) {
+			done[best] = true
+			open--
+			for _, tee := range g.tees {
+				tee.Close(best)
+			}
+		}
+	}
+	results := make([]Result, len(g.members))
+	errs := make([]error, len(g.members))
+	for i, m := range g.members {
+		results[i], errs[i] = m.finishRun()
+	}
+	return results, errs
+}

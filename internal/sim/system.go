@@ -47,8 +47,27 @@ type System struct {
 	latencyLanes map[int64]*laneScheduler
 }
 
+// TraceOpener resolves one core's workload source into the trace reader
+// that feeds it, given the exact parameters System.initCores derives from
+// the configuration (per-core seed, address window, physical layout).
+// A nil opener means the default resolution, workload.Source.Open. The
+// gang engine substitutes an opener that routes every member of a gang
+// through one shared workload.Tee — after verifying the parameters match
+// the leader's, which is what makes the shared stream bit-identical to
+// each member's solo stream.
+//
+// The opener is a construction/Reset-time parameter, never stored on the
+// System: a pooled System Reset without an opener always reverts to solo
+// source resolution.
+type TraceOpener func(core int, src workload.Source, seed, base, span uint64, layout workload.Layout) (cpu.TraceReader, error)
+
 // New builds a system for the configuration.
-func New(cfg Config) (*System, error) {
+func New(cfg Config) (*System, error) { return NewWithOpener(cfg, nil) }
+
+// NewWithOpener builds a system for the configuration, resolving each
+// core's workload source through open (nil selects the default,
+// workload.Source.Open). See TraceOpener.
+func NewWithOpener(cfg Config, open TraceOpener) (*System, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -92,7 +111,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.hier = hier
 
-	if err := s.initCores(true); err != nil {
+	if err := s.initCores(true, open); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -132,7 +151,7 @@ func (s *System) Dispatch(t ev.Token, now int64) {
 // read here — compute time — not during planning or fingerprinting of
 // the synthetic parts; Reset reopens sources, which rewinds replayers
 // bit-identically (the loaded trace bytes are cached and immutable).
-func (s *System) initCores(fresh bool) error {
+func (s *System) initCores(fresh bool, open TraceOpener) error {
 	cfg := s.cfg
 	geo := cfg.geometry()
 	span := uint64(s.mapper.TotalBytes())
@@ -165,7 +184,13 @@ func (s *System) initCores(fresh bool) error {
 		if cfg.SharedFootprint {
 			layout.LayoutSeed = cfg.Seed + 0x51ed270b
 		}
-		gen, err := src.Open(cfg.Seed+uint64(i)*1315423911, base, span, layout)
+		seed := cfg.Seed + uint64(i)*1315423911
+		var gen cpu.TraceReader
+		if open != nil {
+			gen, err = open(i, src, seed, base, span, layout)
+		} else {
+			gen, err = src.Open(seed, base, span, layout)
+		}
 		if err != nil {
 			return err
 		}
@@ -199,7 +224,12 @@ var ErrShapeMismatch = errors.New("sim: Reset config shape differs from the Syst
 //
 // The in-DRAM cache hooks are rebuilt rather than reset: their tag-store
 // state is configuration-dependent and tiny next to the arrays above.
-func (s *System) Reset(cfg Config) error {
+func (s *System) Reset(cfg Config) error { return s.ResetWithOpener(cfg, nil) }
+
+// ResetWithOpener is Reset with an explicit workload-source resolver
+// (nil selects the default, workload.Source.Open). See TraceOpener; the
+// gang engine uses it to retarget pooled Systems into gang members.
+func (s *System) ResetWithOpener(cfg Config, open TraceOpener) error {
 	if err := cfg.normalize(); err != nil {
 		return err
 	}
@@ -244,7 +274,7 @@ func (s *System) Reset(cfg Config) error {
 	for i := range s.coreBatch {
 		s.coreBatch[i] = 0
 	}
-	return s.initCores(false)
+	return s.initCores(false, open)
 }
 
 // LevelScheduler implements cache.LevelSchedulerFactory: cache levels get
@@ -430,6 +460,14 @@ func (s *System) Run() (Result, error) {
 	} else {
 		s.runSkipping()
 	}
+	return s.finishRun()
+}
+
+// finishRun validates that a completed execution reached every core's
+// instruction target and collects the run's Result. Shared verbatim by
+// Run and the gang engine so a gang member fails with the exact error a
+// solo run would.
+func (s *System) finishRun() (Result, error) {
 	for _, c := range s.cores {
 		if !c.Done() {
 			return Result{}, fmt.Errorf("sim: core %d retired only %d/%d instructions in %d cycles",
@@ -437,6 +475,36 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	return s.collect(), nil
+}
+
+// RunSlice advances the run by at most `cycles` CPU cycles and reports
+// whether the run is complete (every core reached its target, or the
+// MaxCycles safety net expired). It is the gang engine's scheduling
+// quantum: interleaving RunSlice calls across gang members is
+// bit-identical to running each member's Run() to completion, because
+// pausing either engine at a cycle boundary and resuming it replays
+// exactly the dense loop's per-cycle effects — the same contract
+// RunUntilRetired's checkpoint stop-point relies on, pinned by
+// TestEngineEquivalence (gang and checkpoint cases).
+func (s *System) RunSlice(cycles int64) bool {
+	limit := s.clock + cycles
+	if limit > s.cfg.MaxCycles {
+		limit = s.cfg.MaxCycles
+	}
+	if s.cfg.DenseLoop {
+		s.runDenseUntil(limit, 0)
+	} else {
+		s.runSkippingUntil(limit, 0)
+	}
+	if s.clock >= s.cfg.MaxCycles {
+		return true
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // totalRetired sums the retired instruction count across all cores.
@@ -471,9 +539,15 @@ func (s *System) RunUntilRetired(target int64) {
 // CPU cycle. A positive stopRetired pauses the loop once the total
 // retired instruction count reaches it: the current cycle completes in
 // full, so a snapshot taken at the pause resumes bit-identically.
-func (s *System) runDense(stopRetired int64) {
+func (s *System) runDense(stopRetired int64) { s.runDenseUntil(s.cfg.MaxCycles, stopRetired) }
+
+// runDenseUntil runs the dense engine until every core is done or the
+// clock reaches maxCycles (exclusive). Factored out so RunSlice can
+// drive the reference loop for a bounded cycle span; splitting the loop
+// at any cycle boundary is trivially bit-identical.
+func (s *System) runDenseUntil(maxCycles, stopRetired int64) {
 	cpb := s.cfg.CPUPerBus
-	for ; s.clock < s.cfg.MaxCycles; s.clock++ {
+	for ; s.clock < maxCycles; s.clock++ {
 		s.events.fireDue(s.clock, s)
 		if s.clock%cpb == 0 {
 			busNow := s.clock / cpb

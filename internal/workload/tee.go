@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Tee shares one decoded instruction stream between the members of a
+// simulation gang (sim.Gang). The underlying reader — a synthetic
+// Generator or a trace Replayer — is consulted exactly once per record;
+// the records are memoized in a ring so every member observes the
+// identical sequence without re-running the generator arithmetic or the
+// trace decode. Members advance independent cursors at their own
+// simulated pace: the ring holds the window between the laggard cursor
+// and the most recently produced record, growing (by doubling) only when
+// the gang's scheduler lets members drift further apart than the current
+// capacity.
+//
+// A Tee is deliberately not a cpu.TraceReader itself — each member reads
+// through the handle returned by Reader(i), so a record consumed by one
+// member stays available to the others.
+//
+// Tees are single-goroutine by design, like the Systems they feed: the
+// gang engine interleaves its members on one goroutine, so cursor and
+// ring updates need no synchronization.
+type Tee struct {
+	src     cpu.TraceReader
+	ring    []cpu.TraceRecord
+	mask    uint64
+	head    uint64 // absolute index of the next record to produce
+	cursors []uint64
+	// closed marks members that have finished their run: their cursors no
+	// longer bound the ring window, so a finished fast member cannot force
+	// the ring to retain the whole remaining stream.
+	closed []bool
+}
+
+// teeInitialCap is the starting ring capacity. Gang scheduling always
+// advances the member with the fewest consumed records, so the drift
+// between cursors — and therefore the ring — stays near one scheduling
+// slice's worth of records; the ring doubles on demand if a gang drifts
+// further.
+const teeInitialCap = 1 << 10
+
+// NewTee wraps src for a gang of members readers.
+func NewTee(src cpu.TraceReader, members int) (*Tee, error) {
+	if src == nil {
+		return nil, fmt.Errorf("workload: tee source must be non-nil")
+	}
+	if members <= 0 {
+		return nil, fmt.Errorf("workload: tee needs at least one member, got %d", members)
+	}
+	return &Tee{
+		src:     src,
+		ring:    make([]cpu.TraceRecord, teeInitialCap),
+		mask:    teeInitialCap - 1,
+		cursors: make([]uint64, members),
+		closed:  make([]bool, members),
+	}, nil
+}
+
+// Reader returns member's view of the shared stream. Each member must
+// use its own reader; the reader is valid for the Tee's lifetime.
+func (t *Tee) Reader(member int) cpu.TraceReader {
+	return &teeReader{tee: t, member: member}
+}
+
+// Consumed returns how many records member has read — the gang
+// scheduler's progress metric (always advancing the member with the
+// fewest consumed records keeps the ring window tight).
+func (t *Tee) Consumed(member int) uint64 { return t.cursors[member] }
+
+// Close marks member finished: its cursor stops bounding the ring
+// window, so a member that completed its run early cannot force the ring
+// to retain the whole remaining stream. Closing is final — records
+// behind a closed cursor may be overwritten as the open members advance,
+// so the member's reader must not be used after Close. The gang engine
+// closes a member exactly when its System has completed its run (and
+// will therefore never read again).
+func (t *Tee) Close(member int) { t.closed[member] = true }
+
+// next returns the record at absolute index c, producing it from the
+// source if no member has reached it yet.
+func (t *Tee) next(c uint64) cpu.TraceRecord {
+	if c == t.head {
+		if t.head-t.lag() >= uint64(len(t.ring)) {
+			t.grow()
+		}
+		t.ring[t.head&t.mask] = t.src.Next()
+		t.head++
+	}
+	return t.ring[c&t.mask]
+}
+
+// lag returns the smallest open cursor (the laggard), or head when every
+// member is closed.
+func (t *Tee) lag() uint64 {
+	min := t.head
+	for i, c := range t.cursors {
+		if !t.closed[i] && c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// grow doubles the ring, re-homing the live window [lag, head). Indices
+// are absolute, so only the masked positions change.
+func (t *Tee) grow() {
+	old := t.ring
+	oldMask := t.mask
+	t.ring = make([]cpu.TraceRecord, 2*len(old))
+	t.mask = uint64(len(t.ring)) - 1
+	for c := t.lag(); c < t.head; c++ {
+		t.ring[c&t.mask] = old[c&oldMask]
+	}
+}
+
+// teeReader is one member's cursor over the shared stream.
+type teeReader struct {
+	tee    *Tee
+	member int
+}
+
+// Next implements cpu.TraceReader: return the member's next record,
+// advancing only this member's cursor.
+func (r *teeReader) Next() cpu.TraceRecord {
+	c := r.tee.cursors[r.member]
+	rec := r.tee.next(c)
+	r.tee.cursors[r.member] = c + 1
+	return rec
+}

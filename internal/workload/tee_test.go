@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// teeRefReader builds the solo reference stream: a fresh generator with
+// the same parameters as the tee's source.
+func teeGen(t *testing.T, name string, seed uint64) cpu.TraceReader {
+	t.Helper()
+	spec, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(spec, seed, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTeeDeterminism drives three members through one shared stream at
+// very different paces — including drift far past the initial ring
+// capacity, which forces growth — and checks every member sees exactly
+// the solo generator's record sequence.
+func TestTeeDeterminism(t *testing.T) {
+	const total = 10_000 // ~10x the initial ring capacity
+	want := make([]cpu.TraceRecord, total)
+	ref := teeGen(t, "mcf", 3)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+
+	tee, err := NewTee(teeGen(t, "mcf", 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := []cpu.TraceReader{tee.Reader(0), tee.Reader(1), tee.Reader(2)}
+	cursors := make([]int, 3)
+	check := func(member, n int) {
+		t.Helper()
+		for k := 0; k < n && cursors[member] < total; k++ {
+			got := readers[member].Next()
+			if got != want[cursors[member]] {
+				t.Fatalf("member %d record %d = %+v, want %+v", member, cursors[member], got, want[cursors[member]])
+			}
+			cursors[member]++
+		}
+	}
+
+	// Unequal paces with the laggard mostly advanced last: member 0 races
+	// ahead in large strides (beyond teeInitialCap, forcing ring growth
+	// while members 1 and 2 still hold early cursors), member 1 follows in
+	// mid strides, member 2 crawls.
+	for cursors[0] < total || cursors[1] < total || cursors[2] < total {
+		check(0, 1500)
+		check(1, 700)
+		check(2, 90)
+		if cursors[2] < cursors[1]/4 {
+			check(2, cursors[1]/4-cursors[2]) // keep the crawler within the grown window
+		}
+	}
+	for m, c := range cursors {
+		if c != total {
+			t.Errorf("member %d consumed %d records, want %d", m, c, total)
+		}
+		if got := tee.Consumed(m); got != uint64(c) {
+			t.Errorf("Consumed(%d) = %d, want %d", m, got, c)
+		}
+	}
+}
+
+// TestTeeClose checks that closing a finished member releases its hold
+// on the ring window: the remaining member can stream far past the
+// closed cursor without unbounded growth, and still sees the reference
+// sequence.
+func TestTeeClose(t *testing.T) {
+	const total = 50_000
+	ref := teeGen(t, "gcc", 11)
+	tee, err := NewTee(teeGen(t, "gcc", 11), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := tee.Reader(0), tee.Reader(1)
+	// Member 1 reads a short prefix and finishes; member 0 streams on.
+	for i := 0; i < 100; i++ {
+		want := ref.Next()
+		if got := r1.Next(); got != want {
+			t.Fatalf("member 1 record %d = %+v, want %+v", i, got, want)
+		}
+		if got := r0.Next(); got != want {
+			t.Fatalf("member 0 record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	tee.Close(1)
+	for i := 100; i < total; i++ {
+		if got, want := r0.Next(), ref.Next(); got != want {
+			t.Fatalf("member 0 record %d after Close(1) = %+v, want %+v", i, got, want)
+		}
+	}
+	// The surviving member never drifted from itself, so the ring must
+	// not have grown past the initial capacity.
+	if len(tee.ring) != teeInitialCap {
+		t.Errorf("ring grew to %d entries with only one open member, want %d", len(tee.ring), teeInitialCap)
+	}
+}
