@@ -35,6 +35,13 @@
 // figmerge, and rerun figbench unsharded against the merged directory:
 // it recomputes nothing and renders tables byte-identical to a
 // single-machine run. See ARCHITECTURE.md for the full workflow.
+//
+// With -worker URL the invocation instead serves a figserve coordinator:
+// it adopts the coordinator's scale and experiment set (local scale and
+// experiment arguments are rejected to prevent silent drift), computes
+// leased slices of the matrix, and uploads the results until the
+// coordinator reports the matrix complete. See the "Distributed
+// dispatch" section of ARCHITECTURE.md.
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/expcache"
 	"repro/internal/harness"
 	"repro/internal/stats"
@@ -66,11 +74,42 @@ func main() {
 	shard := flag.String("shard", "", "compute only slice K/N of the experiment matrix into -cache-dir (no tables are rendered; merge shards with figmerge)")
 	customWl := flag.String("workload", "", "comma-separated workloads for the custom experiment (benchmarks, mixes, mt-<app>, trace:FILE)")
 	gang := flag.Bool("gang", true, "execute same-workload runs as one gang over a shared instruction stream (results are bit-identical either way)")
+	worker := flag.String("worker", "", "serve a figserve coordinator at this base URL instead of running locally (scale and experiments come from the coordinator)")
+	workerID := flag.String("worker-id", "", "worker name in coordinator logs (default: host-pid)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
 	args := flag.Args()
+	if *worker != "" {
+		// Worker mode: the coordinator owns the scale and experiment set;
+		// local selections would silently disagree with the fleet's matrix,
+		// so refuse them rather than ignore them.
+		if len(args) != 0 {
+			fmt.Fprintf(os.Stderr, "figbench: -worker takes no experiment arguments (the coordinator picks the matrix); got %v\n", args)
+			os.Exit(2)
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		fmt.Printf("figbench: worker %s serving %s\n", id, *worker)
+		err := dispatch.RunWorker(*worker, dispatch.WorkerOptions{
+			ID:          id,
+			Parallelism: *par,
+			Logf:        func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figbench: worker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("figbench: worker done: matrix complete")
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -97,35 +136,19 @@ func main() {
 	}, cache, *force)
 	r.SetGangEnabled(*gang)
 
-	type experiment struct {
-		name string
-		run  func() (*stats.Table, error)
-	}
-	catalog := []experiment{
-		{"table1", func() (*stats.Table, error) { return r.Table1(), nil }},
-		{"table2", r.Table2},
-		{"fig5", r.Fig5},
-		{"fig7", r.Fig7},
-		{"fig8", r.Fig8},
-		{"fig9", r.Fig9},
-		{"fig10", r.Fig10},
-		{"fig11", r.Fig11},
-		{"fig12", r.Fig12},
-		{"fig13", r.Fig13},
-		{"fig14", r.Fig14},
-		{"fig15", r.Fig15},
-		{"sec42", func() (*stats.Table, error) { return r.Sec42(), nil }},
-		{"sec83", r.Sec83},
-		{"multithreaded", r.Multithreaded},
-		{"ablation", r.Ablations},
-		{"custom", func() (*stats.Table, error) {
+	// The catalog is the harness's canonical experiment list — the same
+	// one figserve workers resolve — plus the CLI-only custom experiment,
+	// which needs -workload input and so cannot live in the shared set.
+	catalog := append(r.Catalog(), harness.Experiment{
+		Name: "custom",
+		Run: func() (*stats.Table, error) {
 			ws, err := harness.ParseCustomWorkloads(splitList(*customWl))
 			if err != nil {
 				return nil, err
 			}
 			return r.Custom(ws)
-		}},
-	}
+		},
+	})
 
 	want := make(map[string]bool)
 	for _, a := range args {
@@ -133,15 +156,15 @@ func main() {
 			// "all" is the paper's matrix; custom needs -workload input
 			// and is only run when named explicitly.
 			for _, e := range catalog {
-				if e.name != "custom" {
-					want[e.name] = true
+				if e.Name != "custom" {
+					want[e.Name] = true
 				}
 			}
 			continue
 		}
 		found := false
 		for _, e := range catalog {
-			if e.name == a {
+			if e.Name == a {
 				want[a] = true
 				found = true
 			}
@@ -179,9 +202,9 @@ func main() {
 		var names []string
 		var builders []func() (*stats.Table, error)
 		for _, e := range catalog {
-			if want[e.name] {
-				names = append(names, e.name)
-				builders = append(builders, e.run)
+			if want[e.Name] {
+				names = append(names, e.Name)
+				builders = append(builders, e.Run)
 			}
 		}
 		jobs, err := r.EnumerateJobs(builders...)
@@ -201,17 +224,17 @@ func main() {
 		}
 	} else {
 		for _, e := range catalog {
-			if !want[e.name] {
+			if !want[e.Name] {
 				continue
 			}
 			start := time.Now()
-			tab, err := e.run()
+			tab, err := e.Run()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "figbench: %s: %v\n", e.name, err)
+				fmt.Fprintf(os.Stderr, "figbench: %s: %v\n", e.Name, err)
 				os.Exit(1)
 			}
 			fmt.Println(tab.Render())
-			fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+			fmt.Printf("(%s completed in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
 		}
 	}
 	if cps := r.SimCyclesPerSecond(); cps > 0 {

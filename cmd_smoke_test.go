@@ -1,6 +1,7 @@
 package repro_bench
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"os"
@@ -171,6 +172,150 @@ func TestCommandsSmoke(t *testing.T) {
 		}
 		if !strings.Contains(out, "custom") {
 			t.Errorf("refusal does not point at the custom experiment:\n%s", out)
+		}
+	})
+
+	// startFigserve launches the coordinator on an ephemeral port and
+	// parses the base URL from its "listening on" line. The output method
+	// is only safe after wait() has returned.
+	type figserveProc struct {
+		cmd      *exec.Cmd
+		url      string
+		out, err bytes.Buffer
+		scanDone chan struct{}
+	}
+	startFigserve := func(t *testing.T, args ...string) *figserveProc {
+		t.Helper()
+		p := &figserveProc{scanDone: make(chan struct{})}
+		p.cmd = exec.Command(filepath.Join(binDir, "figserve"), args...)
+		p.cmd.Dir = workDir
+		stdout, err := p.cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.cmd.Stderr = &p.err
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.cmd.Process.Kill() })
+		urlCh := make(chan string, 1)
+		go func() {
+			defer close(p.scanDone)
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				p.out.WriteString(line + "\n")
+				if rest, ok := strings.CutPrefix(line, "figserve: listening on "); ok {
+					select {
+					case urlCh <- rest:
+					default:
+					}
+				}
+			}
+		}()
+		select {
+		case p.url = <-urlCh:
+			return p
+		case <-time.After(30 * time.Second):
+			_ = p.cmd.Process.Kill()
+			<-p.scanDone
+			t.Fatalf("figserve never printed its listening address:\n%s%s", p.out.String(), p.err.String())
+			return nil
+		}
+	}
+	// wait drains figserve's stdout to EOF, then reaps the process; the
+	// combined output is complete once it returns.
+	waitFigserve := func(p *figserveProc) (string, error) {
+		select {
+		case <-p.scanDone:
+		case <-time.After(2 * time.Minute):
+			_ = p.cmd.Process.Kill()
+			<-p.scanDone
+		}
+		err := p.cmd.Wait()
+		return p.out.String() + p.err.String(), err
+	}
+	scaleArgs := []string{"-insts", "8000", "-apps", "2", "-mixes", "1", "-mc", "100"}
+
+	t.Run("figserve-fleet-warm-rerun", func(t *testing.T) {
+		t.Parallel()
+		dir := filepath.Join(workDir, "fleet-cache")
+		serveArgs := append(append([]string{"-addr", "127.0.0.1:0", "-cache-dir", dir, "-lease-ttl", "10s", "-batch", "2"}, scaleArgs...), "table2", "fig7")
+		serve := startFigserve(t, serveArgs...)
+
+		// Two worker processes split the matrix between them.
+		errs := make(chan error, 2)
+		outs := make([]string, 2)
+		for i := range outs {
+			go func(i int) {
+				out, err := run(t, "figbench", "-worker", serve.url, "-worker-id", []string{"w1", "w2"}[i])
+				outs[i] = out
+				errs <- err
+			}(i)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("worker failed: %v\n--- w1\n%s\n--- w2\n%s", err, outs[0], outs[1])
+			}
+		}
+		serveOut, err := waitFigserve(serve)
+		if err != nil {
+			t.Fatalf("figserve exited nonzero: %v\n%s", err, serveOut)
+		}
+		if !strings.Contains(serveOut, "figserve: complete:") {
+			t.Errorf("figserve never reported completion:\n%s", serveOut)
+		}
+		for i, out := range outs {
+			if !strings.Contains(out, "matrix complete") {
+				t.Errorf("worker %d did not report a complete matrix:\n%s", i+1, out)
+			}
+		}
+		// The assembled directory serves a warm unsharded rerun without a
+		// single recomputation.
+		warm := mustRun(t, "figbench", append(append([]string{"-cache-dir", dir}, scaleArgs...), "table2", "fig7")...)
+		if !strings.Contains(warm, "misses=0 computed=0") {
+			t.Errorf("warm rerun over the fleet directory recomputed work:\n%s", warm)
+		}
+	})
+
+	t.Run("figserve-restart-resume", func(t *testing.T) {
+		t.Parallel()
+		dir := filepath.Join(workDir, "resume-cache")
+		// Seed a partial directory the way an interrupted fleet leaves one:
+		// a 1-of-2 shard run computes half the table2 matrix into it.
+		mustRun(t, "figbench", append(append([]string{"-shard", "1/2", "-cache-dir", dir}, scaleArgs...), "table2")...)
+
+		serveArgs := append(append([]string{"-addr", "127.0.0.1:0", "-cache-dir", dir, "-lease-ttl", "10s", "-batch", "2"}, scaleArgs...), "table2")
+		// First coordinator incarnation adopts the partial entries, then
+		// dies before any worker shows up.
+		serve1 := startFigserve(t, serveArgs...)
+		if err := serve1.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		out1, _ := waitFigserve(serve1)
+		if !strings.Contains(out1, "(1 resumed)") {
+			t.Fatalf("first incarnation did not resume the shard's entry:\n%s", out1)
+		}
+
+		// The restarted coordinator resumes the same entry and dispatches
+		// only the remainder to a single worker.
+		serve2 := startFigserve(t, serveArgs...)
+		if out, err := run(t, "figbench", "-worker", serve2.url); err != nil {
+			t.Fatalf("worker failed: %v\n%s", err, out)
+		}
+		out2, err := waitFigserve(serve2)
+		if err != nil {
+			t.Fatalf("figserve exited nonzero: %v\n%s", err, out2)
+		}
+		if !strings.Contains(out2, "(1 resumed)") {
+			t.Fatalf("restarted coordinator did not resume:\n%s", out2)
+		}
+		if !strings.Contains(out2, "figserve: complete:") {
+			t.Errorf("restarted coordinator never completed:\n%s", out2)
+		}
+		warm := mustRun(t, "figbench", append(append([]string{"-cache-dir", dir}, scaleArgs...), "table2")...)
+		if !strings.Contains(warm, "misses=0 computed=0") {
+			t.Errorf("warm rerun after restart-resume recomputed work:\n%s", warm)
 		}
 	})
 

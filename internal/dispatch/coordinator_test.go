@@ -1,0 +1,250 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/expcache"
+	"repro/internal/sim"
+)
+
+// fakeClock drives the coordinator's lazy lease expiry explicitly.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testOptions(clk *fakeClock, ttl time.Duration, batch int) Options {
+	return Options{LeaseTTL: ttl, Batch: batch, Now: clk.Now}
+}
+
+// testMatrix builds n synthetic matrix fingerprints (ascending by
+// construction) and a valid encoded entry for each.
+func testMatrix(t *testing.T, n int) ([]string, map[string][]byte) {
+	t.Helper()
+	fps := make([]string, n)
+	entries := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		var fp sim.Fingerprint
+		fp[0] = byte(i + 1)
+		res := sim.Result{Workload: fmt.Sprintf("job%d", i), Cycles: int64(1000 + i)}
+		data, err := expcache.EncodeEntry(fp, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = fp.String()
+		entries[fps[i]] = data
+	}
+	return fps, entries
+}
+
+func newTestCoordinator(t *testing.T, fps []string, opts Options) (*Coordinator, *expcache.DirStore) {
+	t.Helper()
+	store := expcache.NewDirStore(filepath.Join(t.TempDir(), "cache"))
+	c, err := NewCoordinator(Spec{Engine: sim.EngineVersion, Fingerprints: fps}, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store
+}
+
+func TestLeaseExpiryRedispatch(t *testing.T) {
+	clk := newFakeClock()
+	fps, entries := testMatrix(t, 3)
+	c, _ := newTestCoordinator(t, fps, testOptions(clk, 10*time.Second, 3))
+
+	l1 := c.Lease("w1")
+	if len(l1.Fingerprints) != 3 {
+		t.Fatalf("first lease got %d fingerprints, want 3", len(l1.Fingerprints))
+	}
+	// Everything is freshly leased: a second worker is told to retry.
+	if l2 := c.Lease("w2"); len(l2.Fingerprints) != 0 || l2.Done || l2.RetryMillis <= 0 {
+		t.Fatalf("second lease should be an empty retry, got %+v", l2)
+	}
+	// Past the deadline the lease expires and the work is re-dispatched.
+	clk.Advance(11 * time.Second)
+	l3 := c.Lease("w2")
+	if len(l3.Fingerprints) != 3 {
+		t.Fatalf("post-expiry lease got %d fingerprints, want all 3", len(l3.Fingerprints))
+	}
+	if err := c.Heartbeat(l1.ID); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("heartbeat on expired lease: got %v, want ErrUnknownLease", err)
+	}
+	// The expired worker's late upload is still welcome.
+	if err := c.Upload(fps[0], entries[fps[0]]); err != nil {
+		t.Fatalf("late upload after expiry: %v", err)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clk := newFakeClock()
+	fps, _ := testMatrix(t, 2)
+	c, _ := newTestCoordinator(t, fps, testOptions(clk, 10*time.Second, 2))
+
+	l := c.Lease("w1")
+	for i := 0; i < 5; i++ {
+		clk.Advance(8 * time.Second) // inside the TTL each time
+		if err := c.Heartbeat(l.ID); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	// 40s of wall time has passed — far beyond one TTL — but the lease is
+	// alive, so the pool stays empty for other workers.
+	if l2 := c.Lease("w2"); len(l2.Fingerprints) != 0 {
+		t.Fatalf("heartbeated lease was stolen: %+v", l2)
+	}
+}
+
+func TestStragglerRedispatchQuietLeasesOnly(t *testing.T) {
+	clk := newFakeClock()
+	fps, _ := testMatrix(t, 2)
+	c, _ := newTestCoordinator(t, fps, testOptions(clk, 12*time.Second, 2))
+
+	l1 := c.Lease("w1")
+	if len(l1.Fingerprints) != 2 {
+		t.Fatalf("lease: %+v", l1)
+	}
+	// Fresh lease (full TTL remaining): not a steal candidate.
+	if l2 := c.Lease("w2"); len(l2.Fingerprints) != 0 {
+		t.Fatalf("stole from a fresh lease: %+v", l2)
+	}
+	// After >TTL/2 without a heartbeat the lease is quiet; a second
+	// worker gets straggler cover before full expiry.
+	clk.Advance(7 * time.Second)
+	l3 := c.Lease("w2")
+	if len(l3.Fingerprints) != 2 {
+		t.Fatalf("quiet lease not re-dispatched: %+v", l3)
+	}
+	// maxLeasesPerJob caps the pile-on: a third worker gets nothing.
+	if l4 := c.Lease("w3"); len(l4.Fingerprints) != 0 {
+		t.Fatalf("third concurrent claim exceeded maxLeasesPerJob: %+v", l4)
+	}
+}
+
+func TestUploadValidationAndConflicts(t *testing.T) {
+	clk := newFakeClock()
+	fps, entries := testMatrix(t, 2)
+	c, _ := newTestCoordinator(t, fps, testOptions(clk, 10*time.Second, 2))
+
+	if err := c.Upload("zz", entries[fps[0]]); !errors.Is(err, ErrOutsideMatrix) {
+		t.Fatalf("non-hex fingerprint: got %v, want ErrOutsideMatrix", err)
+	}
+	if err := c.Upload(fps[0], []byte("{")); !errors.Is(err, expcache.ErrEntryUnparsable) {
+		t.Fatalf("garbage upload: got %v, want ErrEntryUnparsable", err)
+	}
+	// A valid entry for a fingerprint outside the matrix.
+	var foreign sim.Fingerprint
+	foreign[0] = 0xee
+	data, err := expcache.EncodeEntry(foreign, sim.Result{Workload: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upload(foreign.String(), data); !errors.Is(err, ErrOutsideMatrix) {
+		t.Fatalf("foreign upload: got %v, want ErrOutsideMatrix", err)
+	}
+	// Entry bytes whose embedded fingerprint disagrees with the URL's.
+	if err := c.Upload(fps[1], entries[fps[0]]); !errors.Is(err, expcache.ErrEntryFingerprint) {
+		t.Fatalf("mismatched upload: got %v, want ErrEntryFingerprint", err)
+	}
+
+	if err := c.Upload(fps[0], entries[fps[0]]); err != nil {
+		t.Fatalf("first valid upload: %v", err)
+	}
+	// Identical duplicate: idempotent ack. Different bytes: conflict.
+	if err := c.Upload(fps[0], entries[fps[0]]); err != nil {
+		t.Fatalf("identical duplicate: %v", err)
+	}
+	var fp0 sim.Fingerprint
+	fp0[0] = 1
+	other, err := expcache.EncodeEntry(fp0, sim.Result{Workload: "job0", Cycles: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upload(fps[0], other); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting upload: got %v, want ErrConflict", err)
+	}
+
+	st := c.Status()
+	if st.Done != 1 || st.Rejected != 4 {
+		t.Fatalf("status after rejections: %+v (want done=1 rejected=4)", st)
+	}
+	if err := c.Upload(fps[1], entries[fps[1]]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("matrix complete but Done not closed")
+	}
+	if !c.Complete() {
+		t.Fatal("Complete() false after Done closed")
+	}
+	if l := c.Lease("w1"); !l.Done {
+		t.Fatalf("lease after completion should say done, got %+v", l)
+	}
+}
+
+func TestResumeFromPartialStore(t *testing.T) {
+	clk := newFakeClock()
+	fps, entries := testMatrix(t, 3)
+	dir := filepath.Join(t.TempDir(), "cache")
+	store := expcache.NewDirStore(dir)
+	// Pre-fill one valid entry, one corrupt one, and one foreign file.
+	if err := store.PutEntry(fps[0], entries[fps[0]]); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutEntry(fps[1], []byte(`{"format":99}`)); err != nil {
+		t.Fatal(err)
+	}
+	var foreign sim.Fingerprint
+	foreign[0] = 0xcc
+	fdata, err := expcache.EncodeEntry(foreign, sim.Result{Workload: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutEntry(foreign.String(), fdata); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCoordinator(Spec{Engine: sim.EngineVersion, Fingerprints: fps}, store, testOptions(clk, 10*time.Second, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Resumed != 1 || st.Done != 1 {
+		t.Fatalf("resume: %+v (want resumed=1 done=1: corrupt and foreign entries must not count)", st)
+	}
+	// Only the two missing fingerprints are dispatched (the corrupt one
+	// is recomputed, overwriting the bad file).
+	l := c.Lease("w1")
+	if len(l.Fingerprints) != 2 || l.Fingerprints[0] != fps[1] || l.Fingerprints[1] != fps[2] {
+		t.Fatalf("post-resume lease: %+v, want exactly [%s %s]", l, fps[1], fps[2])
+	}
+	for _, fp := range l.Fingerprints {
+		if err := c.Upload(fp, entries[fp]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("matrix complete after resume + uploads, Done not closed")
+	}
+
+	// A second restart over the now-complete directory is born finished.
+	c2, err := NewCoordinator(Spec{Engine: sim.EngineVersion, Fingerprints: fps}, expcache.NewDirStore(dir), testOptions(clk, 10*time.Second, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Status(); !st.Complete || st.Resumed != 3 {
+		t.Fatalf("restart over complete dir: %+v (want complete, resumed=3)", st)
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("complete-at-construction coordinator must close Done immediately")
+	}
+}

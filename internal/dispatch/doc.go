@@ -1,0 +1,30 @@
+// Package dispatch turns the manual multi-machine shard workflow
+// ("figbench -shard K/N on each box, scp, figmerge") into a coordinated
+// fleet: a Coordinator enumerated over the experiment matrix serves
+// fingerprint leases to workers over HTTP, tracks heartbeats and
+// deadlines, re-dispatches expired or straggling leases, validates
+// uploaded result entries with the exact expcache decode rules the disk
+// cache applies, and assembles a merged cache directory plus a final
+// 1-of-1 shard manifest — so a warm figbench rerun against the
+// coordinator's directory recomputes nothing and renders byte-identical
+// tables to a solo run.
+//
+// The protocol leans on three existing invariants:
+//
+//   - the matrix index is canonical (harness.EnumerateJobs +
+//     SortByFingerprint): coordinator and workers enumerate it
+//     independently and must agree fingerprint-for-fingerprint;
+//   - entries are content-addressed, self-validating, and atomic on
+//     disk (expcache), so accepting an upload is decode-and-rename and
+//     duplicate work from re-dispatched leases resolves first-writer-
+//     wins with byte-level conflict detection;
+//   - the engine is deterministic, so any two honest workers of the
+//     same build produce byte-identical entries and every failure path
+//     (crash, stall, duplicate, restart) converges to the same bytes.
+//
+// Safety under faults is exercised in-process by the chaos test
+// (TestDispatchConvergesUnderFaults) via Faults, the worker-side fault
+// injection hooks, and end to end by the CI dispatch job. See
+// ARCHITECTURE.md "Distributed dispatch" for the lease protocol,
+// re-dispatch rules, upload validation, and resume semantics.
+package dispatch

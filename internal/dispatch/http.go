@@ -1,0 +1,119 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTP protocol. All bodies are JSON except entry uploads, whose body is
+// the raw encoded entry (it already is a self-validating JSON envelope).
+//
+//	GET  /v1/spec           -> Spec
+//	POST /v1/lease          {"worker":ID} -> Lease
+//	POST /v1/heartbeat      {"lease":ID}  -> 204 | 410 (expired/unknown)
+//	PUT  /v1/entry/{fp}     entry bytes   -> 200 {"done":bool}
+//	                                         400 invalid entry
+//	                                         409 conflicting bytes
+//	                                         422 outside the matrix
+//	GET  /v1/status         -> Status
+//
+// The upload response's done flag tells the finishing worker the matrix
+// is complete without another lease round-trip — the coordinator may be
+// gone by the time a follow-up poll would arrive.
+//
+// A worker treats 410 on heartbeat as "keep computing, upload anyway"
+// (entries are judged on their own validity) and 409 on upload as fatal
+// drift: its build disagrees byte-for-byte with an accepted entry.
+
+// maxUploadBytes bounds an entry upload; real entries are a few KB.
+const maxUploadBytes = 16 << 20
+
+// Handler serves the dispatch protocol over c.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/spec", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, c.Spec())
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, c.Lease(req.Worker))
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Lease string `json:"lease"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Heartbeat(req.Lease); err != nil {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/entry/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			http.Error(w, "PUT only", http.StatusMethodNotAllowed)
+			return
+		}
+		fp := strings.TrimPrefix(r.URL.Path, "/v1/entry/")
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+		if err != nil {
+			http.Error(w, "reading upload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(data) > maxUploadBytes {
+			http.Error(w, "entry too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		switch err := c.Upload(fp, data); {
+		case err == nil:
+			writeJSON(w, map[string]bool{"done": c.Complete()})
+		case errors.Is(err, ErrConflict):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case errors.Is(err, ErrOutsideMatrix):
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		default:
+			// Entry validation failures (the named expcache.ErrEntry*
+			// classes) and store I/O errors.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, c.Status())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// An encode failure here means the client hung up mid-response; the
+	// worker retries, so there is nothing to recover.
+	_ = json.NewEncoder(w).Encode(v)
+}

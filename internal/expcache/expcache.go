@@ -2,6 +2,7 @@ package expcache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,13 +20,36 @@ const FormatVersion = 1
 // entry is the on-disk envelope around one cached result. Fingerprint and
 // Engine are redundant with the filename and the fingerprint's contents;
 // they are stored anyway so a renamed or hand-edited file cannot
-// impersonate another run's result.
+// impersonate another run's result. Result is a pointer so a decode can
+// tell an absent result apart from a zero one: an envelope with valid
+// stamps but no "result" key is hand-crafted garbage, not a cached run.
 type entry struct {
-	Format      int        `json:"format"`
-	Engine      int        `json:"engine"`
-	Fingerprint string     `json:"fingerprint"`
-	Result      sim.Result `json:"result"`
+	Format      int         `json:"format"`
+	Engine      int         `json:"engine"`
+	Fingerprint string      `json:"fingerprint"`
+	Result      *sim.Result `json:"result"`
 }
+
+// Named entry-decode errors. Every way an entry can be unusable has its
+// own identity so callers (and tests) can assert on the failure class
+// with errors.Is instead of matching message text; the wrapped message
+// still carries the specifics. The fuzz corpus drove these out of the
+// former ad-hoc fmt.Errorf calls: a dispatch coordinator rejecting an
+// upload needs to say *why* in a way a worker can act on.
+var (
+	// ErrEntryUnparsable: the bytes are not a JSON entry envelope.
+	ErrEntryUnparsable = errors.New("unparsable entry")
+	// ErrEntryFormat: the envelope's format stamp is not FormatVersion.
+	ErrEntryFormat = errors.New("entry format mismatch")
+	// ErrEntryEngine: the entry was computed by a different engine
+	// generation; its result is not comparable to this build's.
+	ErrEntryEngine = errors.New("entry engine mismatch")
+	// ErrEntryFingerprint: the envelope's fingerprint does not match the
+	// one its filename (or upload path) claims — a renamed file.
+	ErrEntryFingerprint = errors.New("entry fingerprint mismatch")
+	// ErrEntryNoResult: valid stamps but no result payload.
+	ErrEntryNoResult = errors.New("entry missing result")
+)
 
 // Stats counts cache traffic. Hits split by the tier that served them;
 // Misses are lookups that found nothing usable and will be computed.
@@ -138,17 +162,46 @@ func (c *Cache) path(fp sim.Fingerprint) string {
 func decodeEntry(data []byte, fp string) (entry, error) {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return entry{}, fmt.Errorf("unparsable entry: %w", err)
+		return entry{}, fmt.Errorf("%w: %w", ErrEntryUnparsable, err)
 	}
 	switch {
 	case e.Format != FormatVersion:
-		return entry{}, fmt.Errorf("entry format %d, want %d", e.Format, FormatVersion)
+		return entry{}, fmt.Errorf("%w: format %d, want %d", ErrEntryFormat, e.Format, FormatVersion)
 	case e.Engine != sim.EngineVersion:
-		return entry{}, fmt.Errorf("entry engine %d, want %d", e.Engine, sim.EngineVersion)
+		return entry{}, fmt.Errorf("%w: engine %d, want %d", ErrEntryEngine, e.Engine, sim.EngineVersion)
 	case e.Fingerprint != fp:
-		return entry{}, fmt.Errorf("entry fingerprint %.12s... does not match filename %.12s...", e.Fingerprint, fp)
+		return entry{}, fmt.Errorf("%w: entry is %.12s..., filename claims %.12s...", ErrEntryFingerprint, e.Fingerprint, fp)
+	case e.Result == nil:
+		return entry{}, fmt.Errorf("%w: valid stamps but no result payload", ErrEntryNoResult)
 	}
 	return e, nil
+}
+
+// DecodeEntry validates encoded entry bytes against the fingerprint they
+// claim to belong to and returns the result they carry. It is the wire-
+// side twin of the disk read path (both run the same validation), so an
+// entry uploaded to a dispatch coordinator is held to exactly the rules
+// a local cache read applies. Failures wrap the named ErrEntry* errors.
+func DecodeEntry(data []byte, fp string) (sim.Result, error) {
+	e, err := decodeEntry(data, fp)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("expcache: %w", err)
+	}
+	return *e.Result, nil
+}
+
+// EncodeEntry renders one result as entry-envelope bytes — the exact
+// bytes writeDisk persists, so an entry computed on a worker, shipped
+// over the wire, and written by the coordinator is byte-identical to one
+// the same build would have written locally. That identity is what makes
+// fleet cache dirs diffable against solo runs.
+func EncodeEntry(fp sim.Fingerprint, res sim.Result) ([]byte, error) {
+	return json.Marshal(entry{
+		Format:      FormatVersion,
+		Engine:      sim.EngineVersion,
+		Fingerprint: fp.String(),
+		Result:      &res,
+	})
 }
 
 // readDisk loads and validates one entry; any defect is (zero, false).
@@ -166,7 +219,7 @@ func (c *Cache) readDisk(fp sim.Fingerprint) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false // corrupt, stale, or renamed: recompute
 	}
-	return e.Result, true
+	return *e.Result, true
 }
 
 // writeFileAtomic writes data to dir/name via a temp file in the same
@@ -199,12 +252,7 @@ func writeFileAtomic(dir, name string, data []byte) error {
 
 // writeDisk atomically persists one entry.
 func (c *Cache) writeDisk(fp sim.Fingerprint, res sim.Result) error {
-	data, err := json.Marshal(entry{
-		Format:      FormatVersion,
-		Engine:      sim.EngineVersion,
-		Fingerprint: fp.String(),
-		Result:      res,
-	})
+	data, err := EncodeEntry(fp, res)
 	if err != nil {
 		return err
 	}

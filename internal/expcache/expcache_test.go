@@ -31,6 +31,9 @@ func testResult(tag int64) sim.Result {
 	}
 }
 
+// resultPtr adapts a result to the entry envelope's pointer field.
+func resultPtr(r sim.Result) *sim.Result { return &r }
+
 func testFingerprint(seed uint64) sim.Fingerprint {
 	spec, err := workload.ByName("mcf")
 	if err != nil {
@@ -96,7 +99,7 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 	fp := testFingerprint(3)
 	valid, err := json.Marshal(entry{
 		Format: FormatVersion, Engine: sim.EngineVersion,
-		Fingerprint: fp.String(), Result: testResult(1),
+		Fingerprint: fp.String(), Result: resultPtr(testResult(1)),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package expcache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -73,26 +74,64 @@ func (m *Manifest) ExpectedAssigned() []string {
 	return out
 }
 
+// Named manifest-validation errors, one per failure class (assert with
+// errors.Is; the wrapped message carries the specifics). Split out when
+// the fuzz corpus showed arbitrary JSON reaching Validate produced
+// one-size-fits-all messages a merge report could not classify.
+var (
+	ErrManifestFormat = errors.New("manifest format mismatch")
+	ErrManifestEngine = errors.New("manifest engine mismatch")
+	ErrManifestShard  = errors.New("manifest shard out of range")
+	// ErrManifestFingerprint: an index entry is not a 64-hex fingerprint,
+	// or the list is not in ascending order. A manifest asserting
+	// coverage of non-fingerprints could never be satisfied by entries.
+	ErrManifestFingerprint = errors.New("manifest fingerprint index invalid")
+	// ErrManifestAssignment: the explicit assignment disagrees with the
+	// positional rule — a manifest from a different (future) split rule.
+	ErrManifestAssignment = errors.New("manifest assignment rule mismatch")
+)
+
+// IsFingerprintHex reports whether s is a well-formed fingerprint name:
+// exactly 64 lowercase hex digits (the filename stem of a result entry
+// and the wire identity the dispatch protocol passes around).
+func IsFingerprintHex(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks a manifest's internal consistency: version and engine
-// stamps, shard bounds, sorted fingerprints, and the assignment rule.
+// stamps, shard bounds, well-formed sorted fingerprints, and the
+// assignment rule. Failures wrap the named ErrManifest* errors.
 func (m *Manifest) Validate() error {
 	switch {
 	case m.Format != ManifestFormatVersion:
-		return fmt.Errorf("manifest format %d, want %d", m.Format, ManifestFormatVersion)
+		return fmt.Errorf("%w: format %d, want %d", ErrManifestFormat, m.Format, ManifestFormatVersion)
 	case m.Engine != sim.EngineVersion:
-		return fmt.Errorf("manifest engine %d, want %d", m.Engine, sim.EngineVersion)
+		return fmt.Errorf("%w: engine %d, want %d", ErrManifestEngine, m.Engine, sim.EngineVersion)
 	case m.NumShards < 1 || m.Shard < 1 || m.Shard > m.NumShards:
-		return fmt.Errorf("invalid shard %d/%d", m.Shard, m.NumShards)
+		return fmt.Errorf("%w: shard %d/%d", ErrManifestShard, m.Shard, m.NumShards)
 	case !sort.StringsAreSorted(m.Fingerprints):
-		return fmt.Errorf("manifest fingerprints not in ascending order")
+		return fmt.Errorf("%w: index not in ascending order", ErrManifestFingerprint)
+	}
+	for i, fp := range m.Fingerprints {
+		if !IsFingerprintHex(fp) {
+			return fmt.Errorf("%w: index[%d] %.12q is not a 64-hex fingerprint", ErrManifestFingerprint, i, fp)
+		}
 	}
 	want := m.ExpectedAssigned()
 	if len(want) != len(m.Assigned) {
-		return fmt.Errorf("manifest assignment holds %d fingerprints, rule gives %d", len(m.Assigned), len(want))
+		return fmt.Errorf("%w: assignment holds %d fingerprints, rule gives %d", ErrManifestAssignment, len(m.Assigned), len(want))
 	}
 	for i := range want {
 		if want[i] != m.Assigned[i] {
-			return fmt.Errorf("manifest assignment disagrees with the positional rule at index %d", i)
+			return fmt.Errorf("%w: disagreement at index %d", ErrManifestAssignment, i)
 		}
 	}
 	return nil
@@ -113,16 +152,7 @@ func isManifestName(name string) bool {
 // isEntryName reports whether a cache-directory filename is a result
 // entry (a 64-hex fingerprint plus .json).
 func isEntryName(name string) bool {
-	const hexLen = 64
-	if len(name) != hexLen+len(".json") || !strings.HasSuffix(name, ".json") {
-		return false
-	}
-	for _, c := range name[:hexLen] {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
+	return strings.HasSuffix(name, ".json") && IsFingerprintHex(strings.TrimSuffix(name, ".json"))
 }
 
 // WriteManifest validates m and atomically persists it into the cache's

@@ -2,9 +2,11 @@ package expcache
 
 import (
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -330,5 +332,45 @@ func TestMergeValidateWritesNothing(t *testing.T) {
 	}
 	if len(rep.Problems()) != 0 || rep.Entries != len(matrix) || rep.Written != 0 {
 		t.Errorf("validate report %+v: want clean, %d entries, nothing written", rep, len(matrix))
+	}
+}
+
+// TestMergeReportsNamedErrorReasons pins the report text for rejected
+// files to the named validation errors, so a user reading a refused
+// merge sees WHY each file was rejected (wrong engine vs unparsable vs
+// mismatched fingerprint), not just that it was.
+func TestMergeReportsNamedErrorReasons(t *testing.T) {
+	matrix := testMatrix(3)
+	src := t.TempDir()
+	writeShard(t, src, matrix, 1, 1)
+
+	// Corrupt one entry into a wrong-engine one and plant a manifest with
+	// a non-hex fingerprint in its index.
+	bad, err := EncodeEntry(matrix[0], testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongEngine := []byte(strings.Replace(string(bad),
+		fmt.Sprintf(`"engine":%d`, sim.EngineVersion), `"engine":999999`, 1))
+	if string(wrongEngine) == string(bad) {
+		t.Fatal("test setup: engine field not found in encoded entry")
+	}
+	if err := os.WriteFile(filepath.Join(src, matrix[0].String()+".json"), wrongEngine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "manifest-9of9.json"),
+		[]byte(`{"format":1,"engine":`+fmt.Sprint(sim.EngineVersion)+`,"shard":9,"num_shards":9,"fingerprints":["nothex"],"assigned":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Validate([]string{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || !strings.Contains(rep.Corrupt[0], ErrEntryEngine.Error()) {
+		t.Errorf("wrong-engine entry not reported via ErrEntryEngine: %q", rep.Corrupt)
+	}
+	if len(rep.BadManifests) != 1 || !strings.Contains(rep.BadManifests[0], ErrManifestFingerprint.Error()) {
+		t.Errorf("non-hex manifest index not reported via ErrManifestFingerprint: %q", rep.BadManifests)
 	}
 }

@@ -1,0 +1,141 @@
+package fgss
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSnapshot builds a well-formed snapshot through Writer for the
+// seed corpus.
+func fuzzSnapshot(f *testing.F, engine uint32, fp [32]byte) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, engine, fp)
+	w.Begin(1)
+	w.U64(42)
+	w.I64(-7)
+	w.Bool(true)
+	w.Bytes([]byte("payload"))
+	w.End()
+	w.Begin(2)
+	w.Int(123456)
+	w.End()
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReader drives NewReader and a generic section walk over arbitrary
+// bytes. The engine version and fingerprint are lifted from the input's
+// own header so the fuzzer reaches the section framing instead of
+// stalling on the identity checks; the walk peeks each section's tag
+// from the framing (white-box) and drains payloads through every scalar
+// decoder. Nothing may panic or read outside the buffer — corrupt
+// length fields must surface as sticky errors.
+func FuzzReader(f *testing.F) {
+	var fp [32]byte
+	for i := range fp {
+		fp[i] = byte(i)
+	}
+	f.Add(fuzzSnapshot(f, 3, fp))
+	f.Add(fuzzSnapshot(f, 0, [32]byte{}))
+	f.Add([]byte("FGSS"))
+	f.Add([]byte{})
+	// A section claiming more payload than the stream holds.
+	bad := fuzzSnapshot(f, 3, fp)
+	binary.LittleEndian.PutUint32(bad[HeaderSize+4:], 1<<30)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var engine uint32
+		var fprint [32]byte
+		if len(raw) >= HeaderSize {
+			engine = binary.LittleEndian.Uint32(raw[8:12])
+			copy(fprint[:], raw[12:44])
+		}
+		r, err := NewReader(bytes.NewReader(raw), engine, fprint)
+		if err != nil {
+			return // refused: the only requirement is no panic
+		}
+		// Cap total scalar decodes so a megabyte of 1-byte varints does
+		// not turn one exec into a million calls — the decoder surface is
+		// fully exercised long before that.
+		ops := 0
+		for r.Err() == nil && r.off < len(r.data) && ops < 1<<12 {
+			var tag uint32
+			if len(r.data)-r.off >= 8 {
+				tag = binary.LittleEndian.Uint32(r.data[r.off : r.off+4])
+			}
+			r.Section(tag)
+			for ; r.Err() == nil && r.soff < len(r.sec) && ops < 1<<12; ops++ {
+				switch ops % 4 {
+				case 0:
+					r.U64()
+				case 1:
+					r.I64()
+				case 2:
+					r.Bytes()
+				case 3:
+					r.Bool()
+				}
+			}
+			if r.soff == len(r.sec) {
+				r.EndSection()
+			} else {
+				// Budget ran out mid-section: skip the rest white-box so
+				// EndSection's leftover check does not end the walk.
+				r.soff = len(r.sec)
+				r.EndSection()
+			}
+		}
+		// Close must report leftovers or a sticky error, never panic.
+		_ = r.Close()
+	})
+}
+
+// FuzzWriterRoundTrip encodes fuzzer-chosen scalars through Writer and
+// requires the Reader to decode them back exactly — the varint/zigzag/
+// length-prefix encodings must round-trip for the whole value range.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), true, []byte(nil))
+	f.Add(uint64(1<<63), int64(-1<<62), false, []byte("abc"))
+	f.Add(^uint64(0), int64(1), true, bytes.Repeat([]byte{0xff}, 300))
+
+	f.Fuzz(func(t *testing.T, u uint64, i int64, b bool, blob []byte) {
+		var fp [32]byte
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 7, fp)
+		w.Begin(9)
+		w.U64(u)
+		w.I64(i)
+		w.Bool(b)
+		w.Bytes(blob)
+		w.End()
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), 7, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Section(9)
+		if got := r.U64(); got != u {
+			t.Fatalf("U64: got %d, want %d", got, u)
+		}
+		if got := r.I64(); got != i {
+			t.Fatalf("I64: got %d, want %d", got, i)
+		}
+		if got := r.Bool(); got != b {
+			t.Fatalf("Bool: got %v, want %v", got, b)
+		}
+		if got := r.Bytes(); !bytes.Equal(got, blob) {
+			t.Fatalf("Bytes: got %q, want %q", got, blob)
+		}
+		r.EndSection()
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
