@@ -1,0 +1,61 @@
+// Command benchjson converts `go test -bench` output into JSON, so CI
+// can archive benchmark results as machine-readable artifacts:
+//
+//	go test ./internal/sim/ -run NONE -bench . -benchmem | tee /dev/stderr | benchjson -o BENCH_sim.json
+//
+// Reads the benchmark text from stdin (or the files named as
+// arguments), writes JSON to -o (default stdout). Non-benchmark lines
+// are ignored, so the raw combined output of a multi-package run pipes
+// straight through.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, name := range args {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	run, err := benchjson.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run.Write(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSliceZeroedAndWritable(t *testing.T) {
+	a := New(0)
+	s := Slice[int64](a, 1000)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(s))
+	}
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("s[%d] = %d, want zeroed", i, v)
+		}
+	}
+	for i := range s {
+		s[i] = int64(i)
+	}
+	// A second allocation must not alias the first.
+	s2 := Slice[int64](a, 1000)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("second slice dirty at %d: %d", i, v)
+		}
+	}
+	for i, v := range s {
+		if v != int64(i) {
+			t.Fatalf("first slice clobbered at %d: %d", i, v)
+		}
+	}
+	if got := a.TotalBytes(); got != 16000 {
+		t.Fatalf("TotalBytes = %d, want 16000", got)
+	}
+}
+
+func TestSliceAlignment(t *testing.T) {
+	a := New(0)
+	_ = Slice[bool](a, 3) // leave the bump offset misaligned
+	s := Slice[int64](a, 4)
+	if p := uintptr(unsafe.Pointer(&s[0])); p%unsafe.Alignof(int64(0)) != 0 {
+		t.Fatalf("int64 slice misaligned: %#x", p)
+	}
+}
+
+func TestGrowthAcrossChunks(t *testing.T) {
+	a := New(0)
+	var slices [][]uint64
+	for i := 0; i < 64; i++ { // ~4 MB total: forces several chunk growths
+		s := Slice[uint64](a, 8192)
+		for j := range s {
+			s[j] = uint64(i)<<32 | uint64(j)
+		}
+		slices = append(slices, s)
+	}
+	for i, s := range slices {
+		for j, v := range s {
+			if v != uint64(i)<<32|uint64(j) {
+				t.Fatalf("slice %d clobbered at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSizeHintSingleChunk(t *testing.T) {
+	a := New(1 << 20)
+	_ = Slice[byte](a, 1<<20)
+	if len(a.retired) != 0 {
+		t.Fatalf("hinted arena retired %d chunks, want 0", len(a.retired))
+	}
+}
+
+func TestNilArenaFallsBack(t *testing.T) {
+	s := Slice[int64](nil, 5)
+	if len(s) != 5 {
+		t.Fatalf("nil-arena len = %d, want 5", len(s))
+	}
+}
+
+func TestPointerfulTypePanics(t *testing.T) {
+	type bad struct {
+		x int
+		p *int
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slice of a pointerful type did not panic")
+		}
+	}()
+	_ = Slice[bad](New(0), 1)
+}
+
+func TestPointerFreeStructAllowed(t *testing.T) {
+	type ok struct {
+		a int64
+		b [4]uint32
+		c struct{ x, y bool }
+	}
+	s := Slice[ok](New(0), 7)
+	if len(s) != 7 {
+		t.Fatalf("len = %d", len(s))
+	}
+}

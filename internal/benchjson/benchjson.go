@@ -1,0 +1,118 @@
+// Package benchjson converts `go test -bench` text output into
+// machine-readable JSON, so the perf trajectory of the simulator can be
+// tracked as BENCH_*.json artifacts across PRs instead of eyeballed
+// from CI logs.
+//
+// The parser understands the standard benchmark line format — name,
+// iteration count, then (value, unit) pairs — and keeps every metric it
+// sees: ns/op, B/op, allocs/op, and custom ReportMetric units such as
+// sim-insts/s or sim-cycles/s. Header lines (goos, goarch, pkg, cpu)
+// become run metadata.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix kept as
+	// printed (e.g. "BenchmarkSimulatorThroughput-8").
+	Name string `json:"name"`
+	// Package is the pkg: header in effect when the line was read.
+	Package string `json:"package,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op metric, 0 if absent.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every (value, unit) pair of the line keyed by unit,
+	// including ns/op, B/op, allocs/op, and custom metrics.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is a full parsed `go test -bench` invocation.
+type Run struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the structured run.
+// Non-benchmark lines (PASS, ok, test logs) are ignored, so the full
+// combined output of a multi-package run can be piped in unfiltered.
+func Parse(r io.Reader) (*Run, error) {
+	run := &Run{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			run.Results = append(run.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	return run, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8  100  2045500 ns/op  24400000 sim-insts/s  0 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		res.Metrics[unit] = v
+		if unit == "ns/op" {
+			res.NsPerOp = v
+		}
+	}
+	return res, true
+}
+
+// Write emits the run as indented JSON.
+func (run *Run) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(run)
+}

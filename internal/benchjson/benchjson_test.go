@@ -1,0 +1,103 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput-8   	     100	   2045500 ns/op	  24400000 sim-insts/s	       0 B/op	       0 allocs/op
+BenchmarkAccessPathAllocs-8      	      10	    928428 ns/op	  53861190 sim-cycles/s	       0 B/op	       0 allocs/op
+--- FAIL: BenchmarkBroken
+    bench_test.go:10: boom
+PASS
+ok  	repro/internal/sim	1.234s
+pkg: repro/internal/dram
+BenchmarkChannelTick-8           	 5000000	       231.5 ns/op
+FAIL
+`
+
+func TestParse(t *testing.T) {
+	run, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.GOOS != "linux" || run.GOARCH != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", run.GOOS, run.GOARCH)
+	}
+	if !strings.Contains(run.CPU, "Xeon") {
+		t.Errorf("cpu = %q", run.CPU)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+
+	tp := run.Results[0]
+	if tp.Name != "BenchmarkSimulatorThroughput-8" {
+		t.Errorf("name = %q", tp.Name)
+	}
+	if tp.Package != "repro/internal/sim" {
+		t.Errorf("package = %q", tp.Package)
+	}
+	if tp.Iterations != 100 {
+		t.Errorf("iterations = %d", tp.Iterations)
+	}
+	if tp.NsPerOp != 2045500 {
+		t.Errorf("ns/op = %v", tp.NsPerOp)
+	}
+	if got := tp.Metrics["sim-insts/s"]; got != 24400000 {
+		t.Errorf("sim-insts/s = %v", got)
+	}
+	if got, ok := tp.Metrics["allocs/op"]; !ok || got != 0 {
+		t.Errorf("allocs/op = %v (present %v)", got, ok)
+	}
+
+	// The pkg: header switches mid-stream.
+	ct := run.Results[2]
+	if ct.Package != "repro/internal/dram" {
+		t.Errorf("package = %q", ct.Package)
+	}
+	if ct.NsPerOp != 231.5 {
+		t.Errorf("ns/op = %v", ct.NsPerOp)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `random log line
+Benchmark line without iteration count
+PASS
+`
+	run, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 0 {
+		t.Fatalf("got %d results from noise, want 0", len(run.Results))
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	run, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back.Results) != len(run.Results) {
+		t.Errorf("round trip lost results: %d != %d", len(back.Results), len(run.Results))
+	}
+	if back.Results[0].Metrics["sim-insts/s"] != 24400000 {
+		t.Errorf("round trip lost metrics")
+	}
+}

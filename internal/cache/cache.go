@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"unsafe"
 
+	"repro/internal/arena"
 	"repro/internal/ev"
 )
 
@@ -103,10 +105,11 @@ type Cache struct {
 	// the identifier MSHRStart/MSHRFill event tokens carry so a restored
 	// run can route them back here. 0 until SetNodeID.
 	id int32 //fglint:preserved topology constant, assigned at Hierarchy construction
-	// Outstanding misses: bounded levels (MSHRs > 0, the per-core L1s)
-	// keep them in a small slice scanned linearly, which beats map
-	// overhead at Table 1's 8 entries; unbounded levels use the map.
-	mshrs  map[uint64]*mshr
+	// Outstanding misses, in a small slice scanned linearly. Bounded
+	// levels (MSHRs > 0, the per-core L1s) hold at most Table 1's 8
+	// entries; unbounded levels stay structurally small too — their
+	// misses are fed by the bounded L1s plus queued write-backs — so the
+	// linear scan beats map hashing on every lookup, insert and remove.
 	active []*mshr
 	free   []*mshr //fglint:preserved recycled MSHRs are fully re-initialized by newMSHR before reuse
 	clock  int64
@@ -122,6 +125,24 @@ type Cache struct {
 
 // New builds a cache level on top of next.
 func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) {
+	return NewIn(nil, cfg, next, sched, coreID)
+}
+
+// LineArrayBytes returns the size of the flat line array New allocates
+// for this configuration — the dominant memory of a cache level — so a
+// caller providing an arena can pre-size it.
+func (c Config) LineArrayBytes() int {
+	if c.Ways <= 0 || c.BlockBytes <= 0 {
+		return 0
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	return sets * c.Ways * int(unsafe.Sizeof(line{}))
+}
+
+// NewIn builds a cache level on top of next, carving the line array out
+// of a (the line struct is pointer-free by design). A nil arena keeps
+// the plain heap allocation.
+func NewIn(a *arena.Arena, cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,18 +153,18 @@ func New(cfg Config, next Backend, sched Scheduler, coreID int) (*Cache, error) 
 	setsN := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
 	c := &Cache{
 		cfg:    cfg,
-		lines:  make([]line, setsN*cfg.Ways),
+		lines:  arena.Slice[line](a, setsN*cfg.Ways),
 		setsN:  uint64(setsN),
 		next:   next,
 		sched:  sched,
 		disp:   disp,
 		coreID: coreID,
 	}
-	if cfg.MSHRs > 0 {
-		c.active = make([]*mshr, 0, cfg.MSHRs)
-	} else {
-		c.mshrs = make(map[uint64]*mshr)
+	mshrCap := cfg.MSHRs
+	if mshrCap <= 0 {
+		mshrCap = 16
 	}
+	c.active = make([]*mshr, 0, mshrCap)
 	shift := uint(0)
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		shift++
@@ -176,12 +197,6 @@ func (c *Cache) Reset() {
 		c.active[i] = nil
 	}
 	c.active = c.active[:0]
-	//fglint:deterministic drain order only affects free-list pointer order, never simulated state
-	for blk, m := range c.mshrs {
-		m.waiters = m.waiters[:0]
-		c.free = append(c.free, m)
-		delete(c.mshrs, blk)
-	}
 	c.Hits, c.Misses = 0, 0
 	c.WriteBacks, c.MSHRMerges, c.MSHRFullStalls = 0, 0, 0
 	c.ReadAcc, c.WriteAcc = 0, 0
@@ -219,7 +234,9 @@ func (c *Cache) Access(addr uint64, isWrite bool, onDone ev.Token) bool {
 	setIdx, tag := c.setAndTag(addr)
 	set := c.set(setIdx)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		// Tag first: a mismatch is the common way and is rejected on one
+		// comparison without also loading the valid flag.
+		if set[i].tag == tag && set[i].valid {
 			set[i].lru = c.clock
 			if isWrite {
 				set[i].dirty = true
@@ -269,43 +286,33 @@ func (c *Cache) StartFetch(blk uint64) {
 
 // findMSHR returns the outstanding miss for blk, or nil.
 func (c *Cache) findMSHR(blk uint64) *mshr {
-	if c.mshrs == nil {
-		for _, m := range c.active {
-			if m.blockAddr == blk {
-				return m
-			}
+	for _, m := range c.active {
+		if m.blockAddr == blk {
+			return m
 		}
-		return nil
 	}
-	return c.mshrs[blk]
+	return nil
 }
 
 // addMSHR registers an outstanding miss.
 func (c *Cache) addMSHR(m *mshr) {
-	if c.mshrs == nil {
-		c.active = append(c.active, m)
-		return
-	}
-	c.mshrs[m.blockAddr] = m
+	c.active = append(c.active, m)
 }
 
 // removeMSHR unregisters and returns the outstanding miss for blk.
+// Swap-remove is safe: block addresses are unique in the set, and no
+// simulated decision reads the slice order.
 func (c *Cache) removeMSHR(blk uint64) *mshr {
-	if c.mshrs == nil {
-		for i, m := range c.active {
-			if m.blockAddr == blk {
-				last := len(c.active) - 1
-				c.active[i] = c.active[last]
-				c.active[last] = nil
-				c.active = c.active[:last]
-				return m
-			}
+	for i, m := range c.active {
+		if m.blockAddr == blk {
+			last := len(c.active) - 1
+			c.active[i] = c.active[last]
+			c.active[last] = nil
+			c.active = c.active[:last]
+			return m
 		}
-		return nil
 	}
-	m := c.mshrs[blk]
-	delete(c.mshrs, blk)
-	return m
+	return nil
 }
 
 // AccountRefused credits n refused Access attempts to the statistics:
@@ -349,7 +356,9 @@ func (c *Cache) CanAccept(addr uint64) bool {
 	setIdx, tag := c.setAndTag(addr)
 	set := c.set(setIdx)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		// Tag first: a mismatch is the common way and is rejected on one
+		// comparison without also loading the valid flag.
+		if set[i].tag == tag && set[i].valid {
 			return true
 		}
 	}
@@ -420,9 +429,4 @@ func (c *Cache) MissRate() float64 {
 func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }
 
 // OutstandingMisses returns the number of allocated MSHRs.
-func (c *Cache) OutstandingMisses() int {
-	if c.mshrs == nil {
-		return len(c.active)
-	}
-	return len(c.mshrs)
-}
+func (c *Cache) OutstandingMisses() int { return len(c.active) }

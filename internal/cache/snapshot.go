@@ -1,17 +1,15 @@
 package cache
 
 import (
-	"sort"
-
 	"repro/internal/ev"
 	"repro/internal/fgss"
 )
 
 // Snapshot appends one cache level's full mutable state: every line,
 // the LRU clock, the outstanding misses with their waiter tokens, and
-// the statistics counters. MSHRs are emitted in a deterministic order
-// — active-slice order for bounded levels, ascending block address for
-// unbounded ones — so snapshot bytes are reproducible.
+// the statistics counters. MSHRs are emitted in active-slice order —
+// deterministic (allocation and swap-remove order is a pure function of
+// the simulated history), so snapshot bytes are reproducible.
 func (c *Cache) Snapshot(w *fgss.Writer) {
 	w.Int(len(c.lines))
 	for i := range c.lines {
@@ -32,22 +30,9 @@ func (c *Cache) Snapshot(w *fgss.Writer) {
 			w.U64(t.Arg)
 		}
 	}
-	if c.mshrs == nil {
-		w.Int(len(c.active))
-		for _, m := range c.active {
-			snapMSHR(m)
-		}
-	} else {
-		blks := make([]uint64, 0, len(c.mshrs))
-		//fglint:deterministic keys are sorted before use
-		for blk := range c.mshrs {
-			blks = append(blks, blk)
-		}
-		sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
-		w.Int(len(blks))
-		for _, blk := range blks {
-			snapMSHR(c.mshrs[blk])
-		}
+	w.Int(len(c.active))
+	for _, m := range c.active {
+		snapMSHR(m)
 	}
 	w.I64(c.Hits)
 	w.I64(c.Misses)
@@ -82,12 +67,6 @@ func (c *Cache) Restore(r *fgss.Reader) {
 		c.active[i] = nil
 	}
 	c.active = c.active[:0]
-	//fglint:deterministic drain order only affects free-list pointer order, never simulated state
-	for blk, m := range c.mshrs {
-		m.waiters = m.waiters[:0]
-		c.free = append(c.free, m)
-		delete(c.mshrs, blk)
-	}
 	nm := r.Int()
 	for i := 0; i < nm && r.Err() == nil; i++ {
 		m := c.newMSHR(r.U64(), r.Bool())

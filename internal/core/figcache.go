@@ -110,6 +110,13 @@ type FIGCache struct {
 
 	banks []*bankCache
 
+	// plan is the scratch the next Insert returns a pointer to; per the
+	// CacheHook contract the controller copies it before the call after.
+	// Keeping it here instead of allocating per insertion is what lets a
+	// relocating preset run allocation-free in steady state.
+	//fglint:preserved scratch; fully overwritten by every Insert before the pointer is returned
+	plan memctrl.RelocPlan
+
 	// Stats aggregated across banks.
 	Insertions  int64
 	Evictions   int64
@@ -268,11 +275,12 @@ func (c *FIGCache) Insert(ch *dram.Channel, loc dram.Location, now int64) *memct
 	bank.inflight[key] = true
 	bank.fts.Reserve(slot)
 	c.Insertions++
-	return &memctrl.RelocPlan{
+	c.plan = memctrl.RelocPlan{
 		Loc: loc, Cost: cost, Blocks: blocks, ChannelWide: psm,
 		CommitBank: loc.BankID(c.geo), CommitSlot: slot,
 		CommitRow: loc.Row, CommitSeg: seg,
 	}
+	return &c.plan
 }
 
 // Commit implements memctrl.CacheHook: install the tag for a plan Insert

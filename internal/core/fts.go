@@ -36,8 +36,12 @@ type FTS struct {
 
 	// reserved marks slots claimed by an in-flight insertion (planned but
 	// not yet executed by the controller); they are neither allocatable
-	// nor evictable until the insertion commits.
-	reserved map[int]bool
+	// nor evictable until the insertion commits. A dense bitmap rather
+	// than a map: slots are bounded and small, and map insert/delete
+	// churn allocates during same-size bucket growth, which would break
+	// the allocation-free steady state.
+	reserved  []bool
+	nReserved int
 
 	// rowIndex, when attached via SetRowIndex, maintains per-row benefit
 	// sums and dirty bitvectors incrementally (the Dirty-Block-Index
@@ -62,7 +66,7 @@ func NewFTS(slots, segsPerRow, benefitBits int) (*FTS, error) {
 		index:      make(map[segKey]int, slots),
 		segsPerRow: segsPerRow,
 		benefitMax: uint8(1<<benefitBits - 1),
-		reserved:   make(map[int]bool),
+		reserved:   make([]bool, slots),
 	}, nil
 }
 
@@ -123,8 +127,22 @@ func (f *FTS) FreeSlot() (int, bool) {
 
 // Reserve claims a slot for an in-flight insertion; Unreserve releases
 // it. Reserved slots are skipped by FreeSlot and by replacement.
-func (f *FTS) Reserve(slot int)         { f.reserved[slot] = true }
-func (f *FTS) Unreserve(slot int)       { delete(f.reserved, slot) }
+func (f *FTS) Reserve(slot int) {
+	if !f.reserved[slot] {
+		f.reserved[slot] = true
+		f.nReserved++
+	}
+}
+
+// Unreserve releases a slot claimed by Reserve.
+func (f *FTS) Unreserve(slot int) {
+	if f.reserved[slot] {
+		f.reserved[slot] = false
+		f.nReserved--
+	}
+}
+
+// IsReserved reports whether a slot is claimed by an in-flight insertion.
 func (f *FTS) IsReserved(slot int) bool { return f.reserved[slot] }
 
 // Install fills a slot with a new segment, resetting its metadata. Any

@@ -65,6 +65,11 @@ type LISAVilla struct {
 
 	banks []*lisaBank
 
+	// plan is the scratch the next Insert returns a pointer to; per the
+	// CacheHook contract the controller copies it before the call after.
+	//fglint:preserved scratch; fully overwritten by every Insert before the pointer is returned
+	plan memctrl.RelocPlan
+
 	// Stats.
 	Insertions int64
 	Evictions  int64
@@ -242,9 +247,10 @@ func (l *LISAVilla) Insert(ch *dram.Channel, loc dram.Location, now int64) *memc
 	bank.rows[slot] = lisaRow{srcRow: -1}
 	l.Insertions++
 	l.TotalHops += int64(hops)
-	return &memctrl.RelocPlan{Loc: loc, Cost: cost, Hops: hops, IsLISA: true,
+	l.plan = memctrl.RelocPlan{Loc: loc, Cost: cost, Hops: hops, IsLISA: true,
 		CommitBank: loc.BankID(l.geo), CommitSlot: slot, CommitRow: loc.Row,
 	}
+	return &l.plan
 }
 
 // Commit implements memctrl.CacheHook: install the cache-row tag for a

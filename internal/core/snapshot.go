@@ -33,9 +33,11 @@ func (f *FTS) Snapshot(w *fgss.Writer) {
 		w.I64(e.lastUse)
 	}
 	w.I64(f.clock)
-	w.Int(len(f.reserved))
-	for _, slot := range sortedKeys(f.reserved) {
-		w.Int(slot)
+	w.Int(f.nReserved)
+	for i := range f.reserved {
+		if f.reserved[i] {
+			w.Int(i)
+		}
 	}
 	w.I64(f.Hits)
 	w.I64(f.Misses)
@@ -63,9 +65,10 @@ func (f *FTS) Restore(r *fgss.Reader) {
 	}
 	f.clock = r.I64()
 	clear(f.reserved)
+	f.nReserved = 0
 	nres := r.Int()
 	for i := 0; i < nres && r.Err() == nil; i++ {
-		f.reserved[r.Int()] = true
+		f.Reserve(r.Int())
 	}
 	f.Hits = r.I64()
 	f.Misses = r.I64()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/cache"
 	"repro/internal/ev"
 )
@@ -100,6 +101,12 @@ type Core struct {
 
 // New builds a core reading trace and accessing the hierarchy through l1.
 func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int64) (*Core, error) {
+	return NewIn(nil, id, cfg, trace, l1, targetInsts)
+}
+
+// NewIn is New with the window rings (done/epoch/issueEp — all
+// pointer-free) carved out of a. A nil arena keeps plain allocations.
+func NewIn(a *arena.Arena, id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int64) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,9 +118,9 @@ func New(id int, cfg Config, trace TraceReader, l1 *cache.Cache, targetInsts int
 		cfg:         cfg,
 		trace:       trace,
 		l1:          l1,
-		done:        make([]bool, cfg.WindowSize),
-		epoch:       make([]int64, cfg.WindowSize),
-		issueEp:     make([]int64, cfg.WindowSize),
+		done:        arena.Slice[bool](a, cfg.WindowSize),
+		epoch:       arena.Slice[int64](a, cfg.WindowSize),
+		issueEp:     arena.Slice[int64](a, cfg.WindowSize),
 		TargetInsts: targetInsts,
 	}
 	return c, nil
@@ -447,12 +454,21 @@ func (c *Core) advanceInFlight(now, cycles int64) {
 	} else {
 		retired = avail // first cycle drains the run; the rest retire 0
 	}
-	for k := int64(0); k < retired; k++ {
-		c.done[c.head] = false
-		c.head++
-		if c.head == c.cfg.WindowSize {
-			c.head = 0
+	w := c.cfg.WindowSize
+	// Clear the retired entries off the head in at most two wrap-free
+	// runs; the range-clear loops compile to block fills instead of a
+	// per-entry wrap check.
+	if h, n := c.head, int(retired); h+n <= w {
+		clearDone(c.done[h : h+n])
+		if h += n; h == w {
+			h = 0
 		}
+		c.head = h
+	} else {
+		clearDone(c.done[h:])
+		h += n - w
+		clearDone(c.done[:h])
+		c.head = h
 	}
 	c.count -= int(retired)
 	c.avail -= int(retired)
@@ -480,17 +496,33 @@ func (c *Core) advanceInFlight(now, cycles int64) {
 	// are only ever compared against issueEp recorded at load issue, so
 	// skipping bumps for bubbles leaves that relation intact.
 	ins := int(iw * cycles)
-	w := c.cfg.WindowSize
-	t := c.tail
-	for k := 0; k < ins; k++ {
-		c.done[t] = true
-		t++
-		if t == w {
+	if t := c.tail; t+ins <= w {
+		setDone(c.done[t : t+ins])
+		if t += ins; t == w {
 			t = 0
 		}
+		c.tail = t
+	} else {
+		setDone(c.done[t:])
+		t += ins - w
+		setDone(c.done[:t])
+		c.tail = t
 	}
-	c.tail = t
 	c.count += ins
+}
+
+// clearDone and setDone fill a done-flag run; kept as named helpers so
+// both wrap halves share the compiler's block-fill lowering.
+func clearDone(s []bool) {
+	for i := range s {
+		s[i] = false
+	}
+}
+
+func setDone(s []bool) {
+	for i := range s {
+		s[i] = true
+	}
 }
 
 // insert places one instruction at the window tail.

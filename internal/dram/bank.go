@@ -69,12 +69,14 @@ func (b *Bank) Reset(geo Geometry, slow, fast Timing, allFast bool) {
 	*b = Bank{geo: geo, slow: slow, fast: fast, allFast: allFast, openRow: -1}
 }
 
-// timingFor returns the timing set that applies to a row.
-func (b *Bank) timingFor(cacheRow bool, row int) Timing {
+// timingFor returns the timing set that applies to a row. The pointer
+// avoids copying the ~200-byte Timing struct on every command; callers
+// only read it.
+func (b *Bank) timingFor(cacheRow bool, row int) *Timing {
 	if b.classOf(cacheRow, row) == RowFast {
-		return b.fast
+		return &b.fast
 	}
-	return b.slow
+	return &b.slow
 }
 
 // classOf returns the latency class of a row. Cache rows are fast when the

@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/arena"
+)
 
 // Channel models one memory channel: its ranks, banks, the shared data
 // bus, and the rank-level constraints (tRRD, tFAW, tCCD, tWTR, tRTW,
@@ -12,7 +16,7 @@ type Channel struct {
 	Slow Timing
 	Fast Timing
 
-	banks []*Bank // dense: rank-major, then bank group, then bank
+	banks []Bank // dense: rank-major, then bank group, then bank
 
 	// Rank-level state, indexed by rank.
 	actTimes   [][]int64 // recent ACT issue cycles per rank, for tFAW
@@ -46,6 +50,13 @@ type Channel struct {
 // NewChannel builds a channel for the geometry with the given slow/fast
 // timing sets. allFast marks every subarray fast (LL-DRAM).
 func NewChannel(geo Geometry, slow Timing, fast Timing, allFast bool) (*Channel, error) {
+	return NewChannelIn(nil, geo, slow, fast, allFast)
+}
+
+// NewChannelIn is NewChannel with the bank array and per-rank timing
+// registers (all pointer-free) carved out of a. A nil arena keeps plain
+// allocations.
+func NewChannelIn(a *arena.Arena, geo Geometry, slow Timing, fast Timing, allFast bool) (*Channel, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,15 +68,15 @@ func NewChannel(geo Geometry, slow Timing, fast Timing, allFast bool) (*Channel,
 	}
 	nBanks := geo.Ranks * geo.BanksPerRank()
 	c := &Channel{Geo: geo, Slow: slow, Fast: fast}
-	c.banks = make([]*Bank, nBanks)
+	c.banks = arena.Slice[Bank](a, nBanks)
 	for i := range c.banks {
-		c.banks[i] = NewBank(geo, slow, fast, allFast)
+		c.banks[i].Reset(geo, slow, fast, allFast)
 	}
 	c.actTimes = make([][]int64, geo.Ranks)
-	c.lastACT = make([]int64, geo.Ranks)
-	c.nextREF = make([]int64, geo.Ranks)
-	c.refPending = make([]bool, geo.Ranks)
-	c.colReadyL = make([]int64, geo.Ranks*geo.BankGroups)
+	c.lastACT = arena.Slice[int64](a, geo.Ranks)
+	c.nextREF = arena.Slice[int64](a, geo.Ranks)
+	c.refPending = arena.Slice[bool](a, geo.Ranks)
+	c.colReadyL = arena.Slice[int64](a, geo.Ranks*geo.BankGroups)
 	for r := range c.nextREF {
 		c.nextREF[r] = int64(slow.REFI)
 		c.lastACT[r] = -int64(slow.RRDL)
@@ -89,8 +100,8 @@ func (c *Channel) Reset(geo Geometry, allFast bool) error {
 			geo.Ranks, geo.Ranks*geo.BanksPerRank(), len(c.nextREF), len(c.banks))
 	}
 	c.Geo = geo
-	for _, b := range c.banks {
-		b.Reset(geo, c.Slow, c.Fast, allFast)
+	for i := range c.banks {
+		c.banks[i].Reset(geo, c.Slow, c.Fast, allFast)
 	}
 	for r := range c.nextREF {
 		c.nextREF[r] = int64(c.Slow.REFI)
@@ -113,10 +124,10 @@ func (c *Channel) Reset(geo Geometry, allFast bool) error {
 }
 
 // Bank returns the bank at a location.
-func (c *Channel) Bank(loc Location) *Bank { return c.banks[loc.BankID(c.Geo)] }
+func (c *Channel) Bank(loc Location) *Bank { return &c.banks[loc.BankID(c.Geo)] }
 
 // BankByID returns the bank with the given dense index.
-func (c *Channel) BankByID(id int) *Bank { return c.banks[id] }
+func (c *Channel) BankByID(id int) *Bank { return &c.banks[id] }
 
 // NumBanks returns the number of banks in the channel.
 func (c *Channel) NumBanks() int { return len(c.banks) }
@@ -124,8 +135,10 @@ func (c *Channel) NumBanks() int { return len(c.banks) }
 // CanIssue reports whether cmd may issue at cycle now, and if not now, the
 // earliest cycle at which the bank/rank/bus constraints would allow it.
 // ok is false when the command is structurally impossible in the current
-// state (e.g. RD to a closed row), regardless of time.
-func (c *Channel) CanIssue(cmd Command, now int64) (at int64, ok bool) {
+// state (e.g. RD to a closed row), regardless of time. The command is
+// taken by pointer purely to keep the ~100-byte struct off the hot
+// path's copy costs; it is never retained.
+func (c *Channel) CanIssue(cmd *Command, now int64) (at int64, ok bool) {
 	bank := c.Bank(cmd.Loc)
 	switch cmd.Type {
 	case CmdACT:
@@ -142,21 +155,20 @@ func (c *Channel) CanIssue(cmd Command, now int64) (at int64, ok bool) {
 		if !ok {
 			return 0, false
 		}
-		at = c.colReady(at, cmd.Loc)
+		at = c.colReady(at, &cmd.Loc)
 		return c.busReady(at, CmdRD), true
 	case CmdWR:
 		at, ok = bank.CanWR(now, cmd.Loc.CacheRow, cmd.Loc.Row)
 		if !ok {
 			return 0, false
 		}
-		at = c.colReady(at, cmd.Loc)
+		at = c.colReady(at, &cmd.Loc)
 		return c.busReady(at, CmdWR), true
 	case CmdREF:
 		// All banks in the rank must be precharged.
-		for id, b := range c.banks {
-			if id/c.Geo.BanksPerRank() != cmd.Loc.Rank {
-				continue
-			}
+		base := cmd.Loc.Rank * c.Geo.BanksPerRank()
+		for i := 0; i < c.Geo.BanksPerRank(); i++ {
+			b := &c.banks[base+i]
 			if b.openRow != -1 {
 				return 0, false
 			}
@@ -172,10 +184,11 @@ func (c *Channel) CanIssue(cmd Command, now int64) (at int64, ok bool) {
 
 // Issue issues cmd at cycle at (previously validated by CanIssue) and
 // returns the cycle the command's effect completes: the last data beat for
-// RD/WR, or the issue cycle for ACT/PRE/REF.
-func (c *Channel) Issue(cmd Command, at int64) int64 {
+// RD/WR, or the issue cycle for ACT/PRE/REF. Like CanIssue, the command
+// pointer is never retained.
+func (c *Channel) Issue(cmd *Command, at int64) int64 {
 	if c.TraceOn {
-		c.Trace = append(c.Trace, CommandTrace{At: at, Cmd: cmd})
+		c.Trace = append(c.Trace, CommandTrace{At: at, Cmd: *cmd})
 	}
 	bank := c.Bank(cmd.Loc)
 	switch cmd.Type {
@@ -207,6 +220,37 @@ func (c *Channel) Issue(cmd Command, at int64) int64 {
 	default:
 		panic(fmt.Sprintf("dram: Issue does not handle %v directly", cmd.Type))
 	}
+}
+
+// CanColumn is CanIssue's CmdRD/CmdWR arm for a caller that already
+// holds the resolved bank: same checks in the same order, minus the
+// Command construction and bank re-lookup. The scheduler probes column
+// candidates every tick, so the ~100-byte command build and the bank-ID
+// multiply chain were pure per-tick overhead.
+func (c *Channel) CanColumn(bank *Bank, loc *Location, isWrite bool, now int64) (at int64, ok bool) {
+	if isWrite {
+		at, ok = bank.CanWR(now, loc.CacheRow, loc.Row)
+	} else {
+		at, ok = bank.CanRD(now, loc.CacheRow, loc.Row)
+	}
+	if !ok {
+		return 0, false
+	}
+	at = c.colReady(at, loc)
+	if isWrite {
+		return c.busReady(at, CmdWR), true
+	}
+	return c.busReady(at, CmdRD), true
+}
+
+// CanACTAt is CanIssue's CmdACT arm for a caller that already holds the
+// resolved bank.
+func (c *Channel) CanACTAt(bank *Bank, rank int, now int64) (int64, bool) {
+	at, ok := bank.CanACT(now)
+	if !ok {
+		return 0, false
+	}
+	return maxI64(at, c.rankACTReady(rank, now)), true
 }
 
 // rankACTReady returns the earliest cycle an ACT can issue in a rank given
@@ -253,7 +297,7 @@ func (c *Channel) busReady(at int64, k CmdType) int64 {
 // constraints (tCCD). We conservatively apply tCCD_L within the same
 // bank group and tCCD_S across groups; colReady consults the windows at
 // issue-check time, so nothing is fanned out per bank.
-func (c *Channel) noteColumn(cmd Command, at, end int64) {
+func (c *Channel) noteColumn(cmd *Command, at, end int64) {
 	c.lastColType = cmd.Type
 	c.lastColEnd = end
 	if t := at + int64(c.Slow.CCDS); t > c.colReadyS {
@@ -267,7 +311,7 @@ func (c *Channel) noteColumn(cmd Command, at, end int64) {
 
 // colReady applies the channel-level tCCD windows to a column command's
 // earliest issue cycle.
-func (c *Channel) colReady(at int64, loc Location) int64 {
+func (c *Channel) colReady(at int64, loc *Location) int64 {
 	if c.colReadyS > at {
 		at = c.colReadyS
 	}
@@ -389,8 +433,8 @@ func (c *Channel) PSMCost(blocks int, srcOpen bool) int64 {
 func (c *Channel) RelocateAll(loc Location, at, cost int64, blocks int) int64 {
 	end := at + cost
 	c.Bank(loc).ForceClose()
-	for _, b := range c.banks {
-		b.Occupy(end)
+	for i := range c.banks {
+		c.banks[i].Occupy(end)
 	}
 	c.RelocBusy += cost
 	c.NumPSMBlocks += int64(blocks)
@@ -414,7 +458,8 @@ func (c *Channel) RBMCost(hops int, srcOpen bool) int64 {
 
 // ResetStats clears all per-bank and channel counters (not timing state).
 func (c *Channel) ResetStats() {
-	for _, b := range c.banks {
+	for i := range c.banks {
+		b := &c.banks[i]
 		b.NumACT, b.NumACTFast, b.NumPRE, b.NumRD, b.NumWR = 0, 0, 0, 0, 0
 		b.NumRELOC, b.NumRBMHops = 0, 0
 		b.RowHits, b.RowMisses, b.RowConflict = 0, 0, 0
@@ -435,7 +480,8 @@ type Stats struct {
 // CollectStats sums counters across all banks.
 func (c *Channel) CollectStats() Stats {
 	var s Stats
-	for _, b := range c.banks {
+	for i := range c.banks {
+		b := &c.banks[i]
 		s.ACT += b.NumACT
 		s.ACTFast += b.NumACTFast
 		s.PRE += b.NumPRE

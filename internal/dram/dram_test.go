@@ -109,37 +109,37 @@ func TestBankActivateReadPrechargeSequence(t *testing.T) {
 	tm := ch.Slow
 
 	// RD on a closed bank is structurally impossible.
-	if _, ok := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0); ok {
+	if _, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0); ok {
 		t.Fatal("CanIssue(RD) succeeded on closed bank")
 	}
-	at, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 0)
+	at, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 0)
 	if !ok || at != 0 {
 		t.Fatalf("CanIssue(ACT) = (%d,%v), want (0,true)", at, ok)
 	}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
 
 	// Read must wait tRCD.
-	at, ok = ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
+	at, ok = ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0)
 	if !ok || at != int64(tm.RCD) {
 		t.Fatalf("RD ready at %d (ok=%v), want tRCD=%d", at, ok, tm.RCD)
 	}
-	end := ch.Issue(Command{Type: CmdRD, Loc: loc}, at)
+	end := ch.Issue(&Command{Type: CmdRD, Loc: loc}, at)
 	if want := at + int64(tm.CL+tm.BL); end != want {
 		t.Errorf("RD data end = %d, want %d", end, want)
 	}
 
 	// Precharge must wait max(tRAS, RD+tRTP).
-	at, ok = ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, 0)
+	at, ok = ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, 0)
 	if !ok {
 		t.Fatal("CanIssue(PRE) structurally failed")
 	}
 	if want := int64(tm.RAS); at != want {
 		t.Errorf("PRE ready at %d, want tRAS=%d", at, want)
 	}
-	ch.Issue(Command{Type: CmdPRE, Loc: loc}, at)
+	ch.Issue(&Command{Type: CmdPRE, Loc: loc}, at)
 
 	// Next ACT must wait tRP after PRE and tRC after first ACT.
-	at2, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 0)
+	at2, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 0)
 	if !ok {
 		t.Fatal("CanIssue(ACT) structurally failed after PRE")
 	}
@@ -153,13 +153,13 @@ func TestBankWriteRecovery(t *testing.T) {
 	ch := testChannel(t, 0, false)
 	loc := Location{Row: 7}
 	tm := ch.Slow
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
 	wrAt := int64(tm.RCD)
-	end := ch.Issue(Command{Type: CmdWR, Loc: loc}, wrAt)
+	end := ch.Issue(&Command{Type: CmdWR, Loc: loc}, wrAt)
 	if want := wrAt + int64(tm.CWL+tm.BL); end != want {
 		t.Fatalf("WR data end = %d, want %d", end, want)
 	}
-	at, ok := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, 0)
+	at, ok := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, 0)
 	if !ok {
 		t.Fatal("PRE structurally failed")
 	}
@@ -172,13 +172,13 @@ func TestRowConflictRequiresPrecharge(t *testing.T) {
 	ch := testChannel(t, 0, false)
 	a := Location{Row: 1}
 	b := Location{Row: 2}
-	ch.Issue(Command{Type: CmdACT, Loc: a}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: a}, 0)
 	// ACT to a different row of the open bank is structurally impossible.
-	if _, ok := ch.CanIssue(Command{Type: CmdACT, Loc: b}, 100); ok {
+	if _, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: b}, 100); ok {
 		t.Error("ACT allowed on bank with open row")
 	}
 	// RD to the non-open row is impossible too.
-	if _, ok := ch.CanIssue(Command{Type: CmdRD, Loc: b}, 100); ok {
+	if _, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: b}, 100); ok {
 		t.Error("RD allowed to closed row")
 	}
 }
@@ -191,11 +191,11 @@ func TestRankRRDAndFAW(t *testing.T) {
 	var issued []int64
 	for i := 0; i < 5; i++ {
 		loc := Location{Group: i % 4, Bank: i / 4, Row: 1}
-		at, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 0)
+		at, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 0)
 		if !ok {
 			t.Fatalf("ACT %d structurally failed", i)
 		}
-		ch.Issue(Command{Type: CmdACT, Loc: loc}, at)
+		ch.Issue(&Command{Type: CmdACT, Loc: loc}, at)
 		issued = append(issued, at)
 	}
 	for i := 1; i < 4; i++ {
@@ -213,13 +213,13 @@ func TestDataBusSerializesColumnBursts(t *testing.T) {
 	tm := ch.Slow
 	locA := Location{Group: 0, Row: 1}
 	locB := Location{Group: 1, Row: 1}
-	ch.Issue(Command{Type: CmdACT, Loc: locA}, 0)
-	atB, _ := ch.CanIssue(Command{Type: CmdACT, Loc: locB}, 0)
-	ch.Issue(Command{Type: CmdACT, Loc: locB}, atB)
+	ch.Issue(&Command{Type: CmdACT, Loc: locA}, 0)
+	atB, _ := ch.CanIssue(&Command{Type: CmdACT, Loc: locB}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: locB}, atB)
 
-	rdA, _ := ch.CanIssue(Command{Type: CmdRD, Loc: locA}, 0)
-	endA := ch.Issue(Command{Type: CmdRD, Loc: locA}, rdA)
-	rdB, ok := ch.CanIssue(Command{Type: CmdRD, Loc: locB}, rdA)
+	rdA, _ := ch.CanIssue(&Command{Type: CmdRD, Loc: locA}, 0)
+	endA := ch.Issue(&Command{Type: CmdRD, Loc: locA}, rdA)
+	rdB, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: locB}, rdA)
 	if !ok {
 		t.Fatal("RD to bank B structurally failed")
 	}
@@ -237,10 +237,10 @@ func TestWriteToReadTurnaround(t *testing.T) {
 	ch := testChannel(t, 0, false)
 	tm := ch.Slow
 	loc := Location{Row: 1}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	wrAt, _ := ch.CanIssue(Command{Type: CmdWR, Loc: loc}, 0)
-	wrEnd := ch.Issue(Command{Type: CmdWR, Loc: loc}, wrAt)
-	rdAt, ok := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, wrAt+1)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	wrAt, _ := ch.CanIssue(&Command{Type: CmdWR, Loc: loc}, 0)
+	wrEnd := ch.Issue(&Command{Type: CmdWR, Loc: loc}, wrAt)
+	rdAt, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, wrAt+1)
 	if !ok {
 		t.Fatal("RD structurally failed")
 	}
@@ -256,16 +256,16 @@ func TestRefreshOccupiesAllBanks(t *testing.T) {
 	if !due || rank != 0 {
 		t.Fatalf("RefreshDue = (%d,%v), want (0,true)", rank, due)
 	}
-	at, ok := ch.CanIssue(Command{Type: CmdREF, Loc: Location{Rank: 0}}, int64(tm.REFI))
+	at, ok := ch.CanIssue(&Command{Type: CmdREF, Loc: Location{Rank: 0}}, int64(tm.REFI))
 	if !ok {
 		t.Fatal("REF structurally failed on idle rank")
 	}
-	end := ch.Issue(Command{Type: CmdREF, Loc: Location{Rank: 0}}, at)
+	end := ch.Issue(&Command{Type: CmdREF, Loc: Location{Rank: 0}}, at)
 	if want := at + int64(tm.RFC); end != want {
 		t.Errorf("REF end = %d, want %d", end, want)
 	}
 	// No ACT may issue to any bank until tRFC elapses.
-	actAt, ok := ch.CanIssue(Command{Type: CmdACT, Loc: Location{Row: 5}}, at)
+	actAt, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: Location{Row: 5}}, at)
 	if !ok {
 		t.Fatal("ACT structurally failed")
 	}
@@ -279,8 +279,8 @@ func TestRefreshOccupiesAllBanks(t *testing.T) {
 
 func TestRefreshBlockedByOpenRow(t *testing.T) {
 	ch := testChannel(t, 0, false)
-	ch.Issue(Command{Type: CmdACT, Loc: Location{Row: 5}}, 0)
-	if _, ok := ch.CanIssue(Command{Type: CmdREF, Loc: Location{Rank: 0}}, 1000); ok {
+	ch.Issue(&Command{Type: CmdACT, Loc: Location{Row: 5}}, 0)
+	if _, ok := ch.CanIssue(&Command{Type: CmdREF, Loc: Location{Rank: 0}}, 1000); ok {
 		t.Error("REF allowed with an open row in the rank")
 	}
 }
@@ -289,15 +289,15 @@ func TestFastRowTimings(t *testing.T) {
 	ch := testChannel(t, 2, false)
 	fast := ch.Fast
 	loc := Location{Row: 10, CacheRow: true}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	at, ok := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	at, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0)
 	if !ok {
 		t.Fatal("RD to cache row failed")
 	}
 	if at != int64(fast.RCD) {
 		t.Errorf("cache-row RD ready at %d, want fast tRCD=%d", at, fast.RCD)
 	}
-	preAt, _ := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, 0)
+	preAt, _ := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, 0)
 	if preAt != int64(fast.RAS) {
 		t.Errorf("cache-row PRE ready at %d, want fast tRAS=%d", preAt, fast.RAS)
 	}
@@ -308,8 +308,8 @@ func TestFIGCacheSlowCacheRowsKeepSlowTimings(t *testing.T) {
 	// of a slow subarray and must use slow timings.
 	ch := testChannel(t, 0, false)
 	loc := Location{Row: 3, CacheRow: true}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	at, _ := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	at, _ := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0)
 	if at != int64(ch.Slow.RCD) {
 		t.Errorf("FIGCache-Slow cache row RD at %d, want slow tRCD=%d", at, ch.Slow.RCD)
 	}
@@ -318,8 +318,8 @@ func TestFIGCacheSlowCacheRowsKeepSlowTimings(t *testing.T) {
 func TestLLDRAMAllRowsFast(t *testing.T) {
 	ch := testChannel(t, 0, true)
 	loc := Location{Row: 1234}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	at, _ := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	at, _ := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0)
 	if at != int64(ch.Fast.RCD) {
 		t.Errorf("LL-DRAM RD at %d, want fast tRCD=%d", at, ch.Fast.RCD)
 	}
@@ -361,7 +361,7 @@ func TestRBMCostDistanceDependent(t *testing.T) {
 func TestRelocateOccupiesBankAndCloses(t *testing.T) {
 	ch := testChannel(t, 2, false)
 	loc := Location{Row: 9}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
 	cost := ch.RelocCost(16, true)
 	end := ch.Relocate(loc, 100, cost, 16, false, 0)
 	if end != 100+cost {
@@ -371,7 +371,7 @@ func TestRelocateOccupiesBankAndCloses(t *testing.T) {
 	if row, _ := ch.Bank(loc).Open(); row != -1 {
 		t.Error("bank still open after relocation")
 	}
-	at, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 100)
+	at, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 100)
 	if !ok {
 		t.Fatal("ACT structurally failed after relocation")
 	}
@@ -386,10 +386,10 @@ func TestRelocateOccupiesBankAndCloses(t *testing.T) {
 func TestStatsCollection(t *testing.T) {
 	ch := testChannel(t, 0, false)
 	loc := Location{Row: 1}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	ch.Issue(Command{Type: CmdRD, Loc: loc}, 20)
-	preAt, _ := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, 0)
-	ch.Issue(Command{Type: CmdPRE, Loc: loc}, preAt)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdRD, Loc: loc}, 20)
+	preAt, _ := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdPRE, Loc: loc}, preAt)
 	s := ch.CollectStats()
 	if s.ACT != 1 || s.RD != 1 || s.PRE != 1 {
 		t.Errorf("stats = %+v, want 1 ACT / 1 RD / 1 PRE", s)
@@ -430,24 +430,24 @@ func TestPropertyTimingMonotonic(t *testing.T) {
 			loc := Location{Row: row}
 			bank := ch.Bank(loc)
 			if open, _ := bank.Open(); open == -1 {
-				at, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, now)
+				at, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, now)
 				if !ok || at < now {
 					return false
 				}
-				ch.Issue(Command{Type: CmdACT, Loc: loc}, at)
+				ch.Issue(&Command{Type: CmdACT, Loc: loc}, at)
 				now = at
 			} else {
 				loc.Row = open
-				rdAt, ok := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, now)
+				rdAt, ok := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, now)
 				if !ok || rdAt < now {
 					return false
 				}
-				ch.Issue(Command{Type: CmdRD, Loc: loc}, rdAt)
-				preAt, ok := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, rdAt)
+				ch.Issue(&Command{Type: CmdRD, Loc: loc}, rdAt)
+				preAt, ok := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, rdAt)
 				if !ok || preAt < rdAt {
 					return false
 				}
-				ch.Issue(Command{Type: CmdPRE, Loc: loc}, preAt)
+				ch.Issue(&Command{Type: CmdPRE, Loc: loc}, preAt)
 				now = preAt
 			}
 		}
@@ -469,11 +469,11 @@ func TestPropertyRowCycleAtLeastTRC(t *testing.T) {
 			tm = ch.Fast
 			loc.Row = int(row) % ch.Geo.CacheRowsPerBank()
 		}
-		a1, _ := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 0)
-		ch.Issue(Command{Type: CmdACT, Loc: loc}, a1)
-		p, _ := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, a1)
-		ch.Issue(Command{Type: CmdPRE, Loc: loc}, p)
-		a2, _ := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, p)
+		a1, _ := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 0)
+		ch.Issue(&Command{Type: CmdACT, Loc: loc}, a1)
+		p, _ := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, a1)
+		ch.Issue(&Command{Type: CmdPRE, Loc: loc}, p)
+		a2, _ := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, p)
 		return a2-a1 >= int64(tm.RAS+tm.RP) && a2-a1 >= int64(tm.RC)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -496,7 +496,7 @@ func TestPSMCostAndRelocateAll(t *testing.T) {
 	for g := 0; g < ch.Geo.BankGroups; g++ {
 		for b := 0; b < ch.Geo.BanksPerGroup; b++ {
 			loc := Location{Group: g, Bank: b, Row: 1}
-			at, ok := ch.CanIssue(Command{Type: CmdACT, Loc: loc}, 50)
+			at, ok := ch.CanIssue(&Command{Type: CmdACT, Loc: loc}, 50)
 			if !ok {
 				t.Fatalf("ACT structurally failed on bank %d.%d", g, b)
 			}

@@ -55,8 +55,8 @@ func (b *Bank) Restore(r *fgss.Reader) {
 // enable it.
 func (c *Channel) Snapshot(w *fgss.Writer) {
 	w.Int(len(c.banks))
-	for _, b := range c.banks {
-		b.Snapshot(w)
+	for i := range c.banks {
+		c.banks[i].Snapshot(w)
 	}
 	w.Int(len(c.actTimes))
 	for r := range c.actTimes {
@@ -86,8 +86,8 @@ func (c *Channel) Restore(r *fgss.Reader) {
 	if r.Int() != len(c.banks) {
 		return
 	}
-	for _, b := range c.banks {
-		b.Restore(r)
+	for i := range c.banks {
+		c.banks[i].Restore(r)
 	}
 	if r.Int() != len(c.actTimes) {
 		return

@@ -11,11 +11,11 @@ func TestValidateCleanSequence(t *testing.T) {
 	ch := testChannel(t, 0, false)
 	ch.TraceOn = true
 	loc := Location{Row: 10}
-	ch.Issue(Command{Type: CmdACT, Loc: loc}, 0)
-	rd, _ := ch.CanIssue(Command{Type: CmdRD, Loc: loc}, 0)
-	ch.Issue(Command{Type: CmdRD, Loc: loc}, rd)
-	pre, _ := ch.CanIssue(Command{Type: CmdPRE, Loc: loc}, rd)
-	ch.Issue(Command{Type: CmdPRE, Loc: loc}, pre)
+	ch.Issue(&Command{Type: CmdACT, Loc: loc}, 0)
+	rd, _ := ch.CanIssue(&Command{Type: CmdRD, Loc: loc}, 0)
+	ch.Issue(&Command{Type: CmdRD, Loc: loc}, rd)
+	pre, _ := ch.CanIssue(&Command{Type: CmdPRE, Loc: loc}, rd)
+	ch.Issue(&Command{Type: CmdPRE, Loc: loc}, pre)
 	if vs := validateArgs(t, ch); len(vs) != 0 {
 		t.Fatalf("clean sequence flagged: %v", vs)
 	}

@@ -3,6 +3,7 @@ package memctrl
 import (
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/dram"
 	"repro/internal/ev"
 	"repro/internal/stats"
@@ -29,7 +30,10 @@ type CacheHook interface {
 	// local row buffer. It returns the relocation work to perform:
 	// occupancy cycles for the bank and the number of RELOC column
 	// operations (or LISA hops). A nil plan means the insertion was
-	// cancelled (e.g. no evictable slot).
+	// cancelled (e.g. no evictable slot). The returned plan is valid
+	// only until the hook's next Insert call: the controller copies it
+	// into pooled storage immediately, which lets hooks return a pointer
+	// to a reused scratch plan instead of allocating per insertion.
 	Insert(ch *dram.Channel, loc dram.Location, now int64) *RelocPlan
 
 	// Commit installs the cache tags for a plan this hook returned from
@@ -117,6 +121,12 @@ type Controller struct {
 	// need the row in the local row buffer, and the controller schedules
 	// them when no column commands are pending (Section 8.1).
 	pendingRelocs [][]*RelocPlan
+	// planPool recycles RelocPlan storage: issueColumn copies each plan
+	// the hook returns into a pooled object, and flushRelocs returns the
+	// objects after Commit, so steady-state relocation traffic allocates
+	// nothing.
+	//fglint:preserved recycled plans are fully overwritten before reuse and never carry state across runs
+	planPool []*RelocPlan
 	// relocBanks counts banks with pending relocation plans, so idle
 	// ticks skip the per-bank scan when there is no deferred work.
 	relocBanks int
@@ -135,6 +145,12 @@ type Controller struct {
 	// the write-drain diagnostic for ticks a cycle-skipping caller
 	// elided; -1 before the first tick.
 	lastTick int64
+	// spanHorizon bounds the TickSpan in progress (exclusive): the span
+	// must stop before the earliest completion it scheduled, because that
+	// event can feed the controller a new request at the same bus cycle.
+	// issueColumn clamps it as completions are scheduled.
+	//fglint:preserved transient TickSpan bound; always math.MaxInt64 between Tick calls, so neither a checkpoint nor a reused System can observe another value
+	spanHorizon int64
 
 	// Stats.
 	NumReads, NumWrites    int64
@@ -162,6 +178,13 @@ type Controller struct {
 // NewController builds a controller over the channel. cache may be nil for
 // the Base configuration.
 func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Controller {
+	return NewControllerIn(nil, id, cfg, ch, cache)
+}
+
+// NewControllerIn is NewController with the pointer-free per-bank arrays
+// (last-column registers, queue occupancy indexes) carved out of a. A
+// nil arena keeps plain allocations.
+func NewControllerIn(a *arena.Arena, id int, cfg Config, ch *dram.Channel, cache CacheHook) *Controller {
 	if cfg.LatSampleCap == 0 {
 		cfg.LatSampleCap = 2048
 	}
@@ -170,12 +193,13 @@ func NewController(id int, cfg Config, ch *dram.Channel, cache CacheHook) *Contr
 		cfg:           cfg,
 		channel:       ch,
 		cache:         cache,
-		readQ:         newQueue(cfg.ReadQueueDepth, ch.NumBanks()),
-		writeQ:        newQueue(cfg.WriteQueueDepth, ch.NumBanks()),
+		readQ:         newQueueIn(a, cfg.ReadQueueDepth, ch.NumBanks()),
+		writeQ:        newQueueIn(a, cfg.WriteQueueDepth, ch.NumBanks()),
 		pendingRelocs: make([][]*RelocPlan, ch.NumBanks()),
-		lastColumn:    make([]int64, ch.NumBanks()),
+		lastColumn:    arena.Slice[int64](a, ch.NumBanks()),
 		cands:         make([]colCand, 0, ch.NumBanks()),
 		lastTick:      -1,
+		spanHorizon:   math.MaxInt64,
 		// Seed by controller ID so per-channel reservoirs differ but any
 		// two runs of the same configuration sample identically.
 		latSamples: stats.NewReservoir(cfg.LatSampleCap, uint64(id)+1),
@@ -201,13 +225,19 @@ func (c *Controller) Reset(cfg Config, cache CacheHook) {
 	c.writeQ.reset(cfg.WriteQueueDepth)
 	c.writing = false
 	for i := range c.pendingRelocs {
-		c.pendingRelocs[i] = nil
+		plans := c.pendingRelocs[i]
+		for j, p := range plans {
+			c.planPool = append(c.planPool, p)
+			plans[j] = nil
+		}
+		c.pendingRelocs[i] = plans[:0]
 	}
 	c.relocBanks = 0
 	for i := range c.lastColumn {
 		c.lastColumn[i] = 0
 	}
 	c.lastTick = -1
+	c.spanHorizon = math.MaxInt64
 	c.NumReads, c.NumWrites = 0, 0
 	c.CacheHits, c.CacheMisses = 0, 0
 	c.ReadLatencySum, c.Inserted, c.QueueFullStalls = 0, 0, 0
@@ -299,9 +329,9 @@ func (c *Controller) Tick(now int64, schedule func(at int64, tok ev.Token)) int6
 	// re-activate rows between precharges and the refresh would starve.
 	if rank, due := c.channel.RefreshDue(now); due {
 		cmd := dram.Command{Type: dram.CmdREF, Loc: dram.Location{Rank: rank}}
-		if at, ok := c.channel.CanIssue(cmd, now); ok {
+		if at, ok := c.channel.CanIssue(&cmd, now); ok {
 			if at <= now {
-				c.channel.Issue(cmd, now)
+				c.channel.Issue(&cmd, now)
 			}
 			return now + 1 // all banks closed; wait for REF timing
 		}
@@ -359,6 +389,33 @@ func (c *Controller) Tick(now int64, schedule func(at int64, tok ev.Token)) int6
 	return nextAt
 }
 
+// TickSpan is the controller's micro-engine: it advances through its own
+// due ticks — each Tick's next-work probe feeds the next call — until the
+// probe reaches horizon (exclusive, in bus cycles). The caller guarantees
+// that nothing outside this controller can interact with it below the
+// horizon: no event fires, no core executes, no request is drained into
+// any queue, and no other controller becomes due. Under that guarantee
+// the span is bit-identical to surfacing every wake to the run loop: the
+// skipped cycles are no-op ticks either way, and the executed ticks see
+// exactly the dense loop's state.
+//
+// One interaction the caller cannot see coming is created by the span
+// itself: issuing a read schedules its completion, and the event firing
+// at that bus cycle can feed this controller a new request in the same
+// cycle (the dense loop drains the adapter before ticking controllers).
+// issueColumn therefore clamps spanHorizon to each scheduled completion
+// cycle, so the span stops short and the run loop resumes interleaving
+// from there. The returned next-work probe carries the usual contract.
+func (c *Controller) TickSpan(now, horizon int64, schedule func(at int64, tok ev.Token)) int64 {
+	c.spanHorizon = horizon
+	next := c.Tick(now, schedule)
+	for next < c.spanHorizon {
+		next = c.Tick(next, schedule)
+	}
+	c.spanHorizon = math.MaxInt64
+	return next
+}
+
 // prechargeForRefresh closes one open bank in the rank; returns true if a
 // PRE was issued.
 func (c *Controller) prechargeForRefresh(rank int, now int64) bool {
@@ -370,11 +427,11 @@ func (c *Controller) prechargeForRefresh(rank int, now int64) bool {
 			if row, cache := bank.Open(); row != -1 {
 				loc.Row, loc.CacheRow = row, cache
 				cmd := dram.Command{Type: dram.CmdPRE, Loc: loc}
-				if at, ok := c.channel.CanIssue(cmd, now); ok && at <= now {
+				if at, ok := c.channel.CanIssue(&cmd, now); ok && at <= now {
 					if c.flushRelocs(loc.BankID(geo), now, true) {
 						return true
 					}
-					c.channel.Issue(cmd, now)
+					c.channel.Issue(&cmd, now)
 					return true
 				}
 			}
@@ -394,7 +451,9 @@ func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
 	if len(plans) == 0 {
 		return false
 	}
-	c.pendingRelocs[bankID] = nil
+	// Keep the backing array: the bank will accumulate plans again, and
+	// regrowing the slice every flush is a steady-state allocation.
+	c.pendingRelocs[bankID] = plans[:0]
 	c.relocBanks--
 	var cost int64
 	blocks, hops := 0, 0
@@ -415,7 +474,22 @@ func (c *Controller) flushRelocs(bankID int, now int64, rowOpen bool) bool {
 	} else {
 		c.channel.Relocate(plans[0].Loc, now, cost, blocks, isLISA, hops)
 	}
+	for i, p := range plans {
+		c.planPool = append(c.planPool, p)
+		plans[i] = nil
+	}
 	return true
+}
+
+// takePlan returns a recycled RelocPlan from the pool, or a fresh one
+// when the pool is empty. Callers fully overwrite the plan.
+func (c *Controller) takePlan() *RelocPlan {
+	if n := len(c.planPool); n > 0 {
+		p := c.planPool[n-1]
+		c.planPool = c.planPool[:n-1]
+		return p
+	}
+	return new(RelocPlan)
 }
 
 // relocFlushReady returns the earliest bus cycle at which the bank's
@@ -520,7 +594,7 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, tok e
 	cands := c.cands[:0]
 	ci := 0 // arbitration cursor: cands[ci:] are pending, seq-ordered
 	tryCand := func(cc colCand) bool {
-		if at, ok := c.channel.CanIssue(c.columnCmd(cc.r), now); ok {
+		if at, ok := c.channel.CanColumn(cc.r.bank, &cc.r.ServiceLoc, cc.r.IsWrite, now); ok {
 			if at <= now {
 				c.issueColumn(q, cc.idx, cc.r, now, schedule)
 				return true
@@ -585,17 +659,19 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, tok e
 		if row != -1 {
 			// Conflict: precharge the open row, folding in any pending
 			// relocation work for the bank (the RELOC burst ends with the
-			// precharge the row needed anyway).
-			pre := dram.Command{Type: dram.CmdPRE,
-				Loc: dram.Location{Rank: r.ServiceLoc.Rank, Group: r.ServiceLoc.Group,
-					Bank: r.ServiceLoc.Bank, Row: row, CacheRow: cacheRow}}
-			if at, ok := c.channel.CanIssue(pre, now); ok {
+			// precharge the row needed anyway). The readiness probe is
+			// CanIssue's CmdPRE arm verbatim; the command itself is only
+			// built on the rare tick that actually issues it.
+			if at, ok := bank.CanPRE(now); ok {
 				if at <= now {
 					bank.RowConflict++
 					if c.flushRelocs(r.bankID, now, true) {
 						return true, now + 1
 					}
-					c.channel.Issue(pre, now)
+					pre := dram.Command{Type: dram.CmdPRE,
+						Loc: dram.Location{Rank: r.ServiceLoc.Rank, Group: r.ServiceLoc.Group,
+							Bank: r.ServiceLoc.Bank, Row: row, CacheRow: cacheRow}}
+					c.channel.Issue(&pre, now)
 					return true, now + 1
 				}
 				if at < nextAt {
@@ -604,11 +680,11 @@ func (c *Controller) schedule(q *queue, now int64, schedule func(at int64, tok e
 			}
 			continue
 		}
-		act := dram.Command{Type: dram.CmdACT, Loc: r.ServiceLoc}
-		if at, ok := c.channel.CanIssue(act, now); ok {
+		if at, ok := c.channel.CanACTAt(bank, r.ServiceLoc.Rank, now); ok {
 			if at <= now {
 				bank.RowMisses++
-				c.channel.Issue(act, now)
+				act := dram.Command{Type: dram.CmdACT, Loc: r.ServiceLoc}
+				c.channel.Issue(&act, now)
 				return true, now + 1
 			}
 			if at < nextAt {
@@ -633,7 +709,8 @@ func (c *Controller) columnCmd(r *Request) dram.Command {
 func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedule func(at int64, tok ev.Token)) {
 	r.bank.RowHits++
 	c.lastColumn[r.bankID] = now
-	end := c.channel.Issue(c.columnCmd(r), now)
+	cmd := c.columnCmd(r)
+	end := c.channel.Issue(&cmd, now)
 	if r.IsWrite {
 		c.NumWrites++
 	} else {
@@ -643,6 +720,11 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 	}
 	if !r.OnComplete.IsZero() {
 		schedule(end, r.OnComplete)
+		// The completion's event can hand the controller a new request at
+		// bus cycle `end`; a TickSpan in progress must not tick past it.
+		if end < c.spanHorizon {
+			c.spanHorizon = end
+		}
 	}
 	q.remove(r.bankID, i)
 
@@ -653,11 +735,15 @@ func (c *Controller) issueColumn(q *queue, i int, r *Request, now int64, schedul
 	// (the FIGCache-Ideal configuration) updates metadata only.
 	if c.cache != nil && !r.CacheHit && !r.noInsert && !r.ServiceLoc.CacheRow {
 		if plan := c.cache.Insert(c.channel, r.Loc, now); plan != nil {
-			id := plan.Loc.BankID(c.channel.Geo)
+			// The hook's plan is scratch, valid only until its next
+			// Insert; keep a pooled copy (see CacheHook.Insert).
+			p := c.takePlan()
+			*p = *plan
+			id := p.Loc.BankID(c.channel.Geo)
 			if len(c.pendingRelocs[id]) == 0 {
 				c.relocBanks++
 			}
-			c.pendingRelocs[id] = append(c.pendingRelocs[id], plan)
+			c.pendingRelocs[id] = append(c.pendingRelocs[id], p)
 			c.Inserted++
 			if c.cfg.ImmediateReloc {
 				c.flushRelocs(id, now, true)

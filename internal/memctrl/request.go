@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"repro/internal/arena"
 	"repro/internal/dram"
 	"repro/internal/ev"
 )
@@ -72,12 +73,28 @@ type queue struct {
 }
 
 func newQueue(capacity, banks int) *queue {
+	return newQueueIn(nil, capacity, banks)
+}
+
+// newQueueIn carves the queue's pointer-free occupancy indexes (occupied,
+// pos) out of a; the request buckets and head mirror hold pointers and
+// stay on the regular heap. A nil arena keeps plain allocations.
+func newQueueIn(a *arena.Arena, capacity, banks int) *queue {
 	q := &queue{
 		byBank:   make([][]*Request, banks),
-		occupied: make([]int, 0, banks),
+		occupied: arena.Slice[int](a, banks)[:0],
 		heads:    make([]*Request, 0, banks),
-		pos:      make([]int, banks),
+		pos:      arena.Slice[int](a, banks),
 		cap:      capacity,
+	}
+	// Pre-size each bucket to the queue capacity (the per-bank worst
+	// case: every queued request targets one bank), so bucket growth
+	// never allocates mid-run no matter how skewed the traffic. All
+	// buckets share one backing block, three-index-sliced so an append
+	// past one bucket's capacity can never bleed into its neighbor.
+	bucketBacking := make([]*Request, banks*capacity)
+	for i := range q.byBank {
+		q.byBank[i] = bucketBacking[i*capacity : i*capacity : (i+1)*capacity]
 	}
 	for i := range q.pos {
 		q.pos[i] = -1

@@ -45,16 +45,56 @@ func BenchmarkAccessPathAllocs(b *testing.B) {
 	b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
+// BenchmarkAccessPathAllocsReloc drives the access path with an active
+// relocation preset, so the steady state additionally covers the cache
+// hook's insertion decisions, the controller's pooled RelocPlan copies
+// (the hook returns a pointer to reused scratch; the controller copies
+// it into a pooled object and recycles the object after Commit), and
+// the per-bank pending-plan slices whose backing arrays survive each
+// flush. Relocation traffic is continuous for mcf under FIGCache-Fast,
+// so a single allocation per insertion would show up immediately.
+func BenchmarkAccessPathAllocsReloc(b *testing.B) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(FIGCacheFast, workload.Mix{Name: "mcf", Apps: workload.Sources(spec)})
+	// The target is unreachable within the driven spans: the benchmark
+	// measures the steady state, not a completed run.
+	cfg.TargetInsts = 1 << 40
+	cfg.MaxCycles = 1 << 62
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Relocation state (hook maps, plan pool, pending-plan slices) takes
+	// longer to reach steady capacity than the pools alone.
+	s.runSkippingUntil(1_200_000, 0)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		s.runSkippingUntil(s.clock+50_000, 0)
+	})
+	b.ReportMetric(allocs, "allocs/op")
+	if allocs > 0 {
+		b.Fatalf("steady-state relocation path allocated %.1f times per 50k-cycle span, want 0", allocs)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.runSkippingUntil(s.clock+50_000, 0)
+	}
+	b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
 // BenchmarkAccessPathAllocsGang drives the same steady-state access
 // path through a two-member gang, so every record flows through the
 // shared stream tee (workload.Tee). The warm-up slices grow the tee's
 // ring to the members' steady-state drift; from then on the ganged
 // access path must be allocation-free, same as the solo one. The
-// members pair Base with LL-DRAM: the two presets are the ones whose
-// solo steady state is allocation-free (the relocation presets are
-// not, independent of ganging), and their very different memory
+// members pair Base with LL-DRAM: their very different memory
 // latencies keep the members' cursors genuinely drifting through the
-// ring rather than marching in lockstep.
+// ring rather than marching in lockstep. (Relocation presets are
+// covered solo by BenchmarkAccessPathAllocsReloc.)
 func BenchmarkAccessPathAllocsGang(b *testing.B) {
 	spec, err := workload.ByName("mcf")
 	if err != nil {

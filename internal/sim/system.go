@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
@@ -39,12 +40,27 @@ type System struct {
 	// iteration, so the closed form is sized exactly once per cycle.
 	ctrlWake  []int64
 	coreBatch []int64
+	// wake is the tournament tree over ctrlWake (its leaves alias that
+	// slice): min/min-except/due-enumeration for the run loop without a
+	// per-iteration scan. Derived state — Reset and Restore rebuild it
+	// from the leaf values.
+	wake busWake
+	// dueIDs is per-call scratch for the due-controller enumeration.
+	//fglint:preserved scratch; truncated and refilled by every advanceBus call before use
+	dueIDs []int32
 
 	// latencyLanes maps a fixed cache-level latency to its FIFO lane
 	// scheduler (see LevelScheduler); lanes are bound once at construction
 	// and survive Reset.
 	//fglint:preserved lane bindings are config-determined; eventQueue.reset clears the lanes' state
 	latencyLanes map[int64]*laneScheduler
+
+	// arena backs every pointer-free array the System is built from —
+	// cache line arrays, DRAM bank state, controller per-bank registers,
+	// core window rings — so construction is a handful of chunk
+	// allocations instead of one per array. Filled only during
+	// construction; Reset reuses the carved slices in place.
+	arena *arena.Arena
 }
 
 // TraceOpener resolves one core's workload source into the trace reader
@@ -78,6 +94,13 @@ func NewWithOpener(cfg Config, open TraceOpener) (*System, error) {
 	fast := slow.Fast(dram.PaperFastScale())
 	allFast := cfg.Preset == LLDRAM
 
+	// The cache line arrays dominate the footprint; the bank/controller/
+	// core arrays add a few kilobytes the slack covers, and the arena
+	// grows if a shape outruns the hint.
+	hcfg := cfg.hierarchyConfig()
+	s.arena = arena.New(hcfg.LineArrayBytes() + 32<<10)
+	hcfg.Arena = s.arena
+
 	mapper, err := memctrl.NewAddrMapper(geo, cfg.Channels)
 	if err != nil {
 		return nil, err
@@ -85,7 +108,7 @@ func NewWithOpener(cfg Config, open TraceOpener) (*System, error) {
 	s.mapper = mapper
 
 	for ch := 0; ch < cfg.Channels; ch++ {
-		channel, err := dram.NewChannel(geo, slow, fast, allFast)
+		channel, err := dram.NewChannelIn(s.arena, geo, slow, fast, allFast)
 		if err != nil {
 			return nil, err
 		}
@@ -97,15 +120,26 @@ func NewWithOpener(cfg Config, open TraceOpener) (*System, error) {
 		mcCfg.ImmediateReloc = cfg.ImmediateReloc
 		s.channels = append(s.channels, channel)
 		s.hooks = append(s.hooks, hook)
-		s.ctrls = append(s.ctrls, memctrl.NewController(ch, mcCfg, channel, hook))
+		s.ctrls = append(s.ctrls, memctrl.NewControllerIn(s.arena, ch, mcCfg, channel, hook))
 	}
 
 	s.adapter = &memAdapter{sys: s}
+	// Seed the request pool to its structural bound — every controller
+	// queue slot full plus a drain buffer's worth in flight — so the pool
+	// never grows mid-run: high-water-mark creep under bursty relocation
+	// traffic would otherwise allocate long past warm-up.
+	mcDefaults := memctrl.DefaultConfig()
+	poolCap := cfg.Channels*(mcDefaults.ReadQueueDepth+mcDefaults.WriteQueueDepth) + 64
+	backing := make([]memctrl.Request, poolCap) // one block: one GC object, not poolCap
+	s.adapter.free = make([]*memctrl.Request, poolCap)
+	for i := range s.adapter.free {
+		s.adapter.free[i] = &backing[i]
+	}
 	for _, ctrl := range s.ctrls {
 		ctrl.Release = s.adapter.release
 	}
 	s.bindBusSched()
-	hier, err := cache.NewHierarchy(cfg.hierarchyConfig(), s.adapter, s)
+	hier, err := cache.NewHierarchy(hcfg, s.adapter, s)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +229,7 @@ func (s *System) initCores(fresh bool, open TraceOpener) error {
 			return err
 		}
 		if fresh {
-			c, err := cpu.New(i, cfg.coreConfig(), gen, s.hier.L1s[i], cfg.TargetInsts)
+			c, err := cpu.NewIn(s.arena, i, cfg.coreConfig(), gen, s.hier.L1s[i], cfg.TargetInsts)
 			if err != nil {
 				return err
 			}
@@ -271,6 +305,7 @@ func (s *System) ResetWithOpener(cfg Config, open TraceOpener) error {
 	for i := range s.ctrlWake {
 		s.ctrlWake[i] = 0
 	}
+	s.wake.rebuild() // re-derive the tournament tree from the zeroed leaves
 	for i := range s.coreBatch {
 		s.coreBatch[i] = 0
 	}
@@ -610,21 +645,13 @@ func (s *System) runSkippingUntil(maxCycles, stopRetired int64) {
 		s.ctrlWake = make([]int64, len(s.ctrls))
 		s.coreBatch = make([]int64, len(s.cores))
 	}
-	ctrlWake := s.ctrlWake
+	if s.wake.wake == nil {
+		s.wake.init(s.ctrlWake)
+	}
 	for s.clock < maxCycles {
 		s.events.fireDue(s.clock, s)
 		if s.clock%cpb == 0 {
-			busNow := s.clock / cpb
-			s.adapter.drain(busNow)
-			for i, ctrl := range s.ctrls {
-				// Skip controllers that are neither due nor freshly fed:
-				// ticking before the next-work cycle with no new input is
-				// a no-op in the dense loop too.
-				if ctrlWake[i] > busNow && !s.adapter.enqueued[i] {
-					continue
-				}
-				ctrlWake[i] = ctrl.Tick(busNow, s.busSched)
-			}
+			s.busTick(s.clock / cpb)
 		}
 		allDone := true
 		for _, c := range s.cores {
@@ -666,10 +693,40 @@ func (s *System) runSkippingUntil(maxCycles, stopRetired int64) {
 			// Only consult the event queue and the memory system when
 			// every core is blocked or batchable: due events have already
 			// fired, so neither source can be earlier than clock+1.
-			if at, ok := s.events.nextAt(); ok && at < next {
-				next = at
+			eventNext := int64(maxInt64)
+			if at, ok := s.events.nextAt(); ok {
+				eventNext = at
 			}
-			if bus := s.nextBusWork(ctrlWake, cpb); bus < next {
+			// Memory-only fast path: while the earliest thing anywhere in
+			// the machine is controller work — strictly before the next
+			// event and the next core wake — advance the memory system in
+			// place instead of surfacing each bus cycle to this loop. The
+			// dense loop's cycles in between are core no-ops (every core
+			// is blocked or mid-bubble-batch; both are settled by the
+			// jump accounting below, which spans these cycles either way)
+			// and fire no events, so the only dense effects are the
+			// controller ticks advanceBus replays in dense order.
+			// Completions scheduled along the way can only pull eventNext
+			// earlier, never invalidate work already done at earlier
+			// cycles, because every scheduled cycle lies beyond the bus
+			// cycles already ticked (advanceBus's span horizon enforces
+			// that for multi-cycle controller spans).
+			bus := s.nextBusWork(cpb)
+			for bus < next && bus < eventNext {
+				horizon := next
+				if eventNext < horizon {
+					horizon = eventNext
+				}
+				s.advanceBus(bus/cpb, horizon)
+				if at, ok := s.events.nextAt(); ok && at < eventNext {
+					eventNext = at
+				}
+				bus = s.nextBusWork(cpb)
+			}
+			if eventNext < next {
+				next = eventNext
+			}
+			if bus < next {
 				next = bus
 			}
 		}
@@ -717,19 +774,71 @@ func (s *System) runSkippingUntil(maxCycles, stopRetired int64) {
 	}
 }
 
-// nextBusWork returns the next CPU cycle at which the memory system needs
-// a bus tick: the earliest controller next-work probe, or the very next
-// bus boundary while the adapter still buffers requests that must retry
-// entering a full controller queue.
-func (s *System) nextBusWork(ctrlWake []int64, cpb int64) int64 {
-	const never = int64(1<<63 - 1)
-	next := never
-	for _, w := range ctrlWake {
-		if w < next {
-			next = w
+const maxInt64 = int64(1<<63 - 1)
+
+// busTick executes one bus boundary exactly as the dense loop would:
+// drain buffered requests into the controller queues, then tick every
+// controller that is either due (its next-work probe has arrived) or
+// freshly fed by the drain. Ticking the others would be a no-op in the
+// dense loop too, so skipping them is bit-identical.
+func (s *System) busTick(busNow int64) {
+	s.adapter.drain(busNow)
+	for i, ctrl := range s.ctrls {
+		if s.ctrlWake[i] > busNow && !s.adapter.enqueued[i] {
+			continue
+		}
+		s.wake.set(i, ctrl.Tick(busNow, s.busSched))
+	}
+}
+
+// advanceBus performs the memory system's work at bus cycle busNow while
+// the rest of the machine is provably idle until the CPU cycle horizon
+// (exclusive): no event fires and no core executes before it. Three
+// dense-order-preserving cases:
+//
+//   - buffered requests are waiting for queue space: the boundary is a
+//     full drain-plus-tick, identical to an executed dense boundary;
+//   - exactly one controller is due and no other becomes due before the
+//     horizon: that controller runs a multi-cycle span (TickSpan) — its
+//     micro-engine — since no cross-layer interaction can interleave;
+//   - otherwise each due controller ticks once, in ID order, exactly as
+//     the dense loop interleaves same-cycle controller work.
+func (s *System) advanceBus(busNow, horizon int64) {
+	if len(s.adapter.pending) > 0 {
+		s.busTick(busNow)
+		return
+	}
+	cpb := s.cfg.CPUPerBus
+	s.dueIDs = s.wake.appendDue(busNow, s.dueIDs[:0])
+	if len(s.dueIDs) == 1 {
+		i := int(s.dueIDs[0])
+		// Controller ticks at bus cycle b are hidden from the rest of the
+		// machine while b*cpb < horizon: b < ceil(horizon/cpb). Another
+		// controller's wake bounds the span too — at that cycle the dense
+		// loop interleaves both controllers in ID order, which the
+		// single-controller span cannot reproduce on its own.
+		hor := (horizon + cpb - 1) / cpb
+		if other := s.wake.minExcept(i); other < hor {
+			hor = other
+		}
+		if hor > busNow+1 {
+			s.wake.set(i, s.ctrls[i].TickSpan(busNow, hor, s.busSched))
+			return
 		}
 	}
-	if next != never {
+	for _, id := range s.dueIDs {
+		i := int(id)
+		s.wake.set(i, s.ctrls[i].Tick(busNow, s.busSched))
+	}
+}
+
+// nextBusWork returns the next CPU cycle at which the memory system needs
+// a bus tick: the earliest controller next-work probe (tracked by the
+// wake tree), or the very next bus boundary while the adapter still
+// buffers requests that must retry entering a full controller queue.
+func (s *System) nextBusWork(cpb int64) int64 {
+	next := s.wake.min()
+	if next != maxInt64 {
 		next *= cpb
 	}
 	if len(s.adapter.pending) > 0 {
